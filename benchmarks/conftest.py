@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``test_bench_*.py`` file regenerates one of the paper's figures,
+tables, or quantitative claims (experiment ids E1-E12 in DESIGN.md §4).
+The ``benchmark`` fixture times the core computation; the experiment's
+reproduced rows are printed via :func:`report` so that
+
+    pytest benchmarks/ --benchmark-only -s
+
+emits the full paper-vs-measured record (EXPERIMENTS.md embeds it).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, body: str) -> None:
+    """Print an experiment block (bypasses capture when -s is absent
+    by writing to the real stdout is NOT desirable — keep it simple and
+    honest: plain print, visible with -s or on failure)."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)

@@ -1,0 +1,49 @@
+"""E3/E3b — Figure 2: averaged daily marginal carbon intensities, Jan 2023.
+
+Paper artifact: Fig. 2 (daily intensities across European regions) with
+the in-text claims: Finland averaged 2.1x France that month, and the
+Finnish daily series had a standard deviation of 47.21 gCO2/kWh.  The
+series regenerate from the calibrated synthetic zone models.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis import render_fig2, zone_ratio, zone_statistics_table
+from repro.grid import generate_month, list_zones
+
+
+def generate_figure2():
+    rows = zone_statistics_table(list_zones(), seed=0)
+    return rows, render_fig2(seed=0)
+
+
+def test_bench_fig2(benchmark):
+    rows, figure = benchmark(generate_figure2)
+
+    # E3b: the two quoted statistics
+    assert zone_ratio("FI", "FR", seed=0) == pytest.approx(2.1, rel=1e-9)
+    fi = next(r for r in rows if r["zone"] == "FI")
+    assert fi["daily_std"] == pytest.approx(47.21, abs=1e-6)
+
+    # shape: hydro zones lowest, coal highest, and every zone shows
+    # temporal variability (nonzero daily std)
+    means = [r["mean"] for r in rows]
+    assert rows[0]["zone"] == "NO" and rows[-1]["zone"] == "PL"
+    assert means == sorted(means)
+    assert all(r["daily_std"] > 0 for r in rows)
+
+    # 31 days of January
+    assert all(r["n_days"] == 31 for r in rows)
+
+    report("E3 — Figure 2: daily marginal carbon intensities (Jan 2023)",
+           figure + f"\n\nFI/FR monthly-mean ratio: "
+           f"{zone_ratio('FI', 'FR', seed=0):.2f} (paper: 2.1)\n"
+           f"FI daily std: {fi['daily_std']:.2f} gCO2/kWh (paper: 47.21)")
+
+
+def test_bench_fig2_generation_speed(benchmark):
+    """Generator throughput: one zone-month must be cheap (it is called
+    inside every scheduling experiment)."""
+    trace = benchmark(generate_month, "DE", 0)
+    assert len(trace) == 31 * 24

@@ -1,0 +1,108 @@
+"""E10 — Carbon-aware backfill vs FCFS/EASY, with forecast ablation (§3.3).
+
+The envisioned experiment: "intelligent carbon-aware scheduling plugins
+... can intelligently backfill submitted jobs with suitable execution
+times during green periods", "combined with forecasting techniques".
+
+Expected shape:
+* FCFS is the throughput floor; EASY matches or beats its waits;
+* carbon-aware backfill cuts total carbon vs EASY at a queue-wait cost;
+* the saving is ordered by forecast quality: persistence (flat forecast
+  never finds a better window: 0 saving) <= AR/seasonal-naive <= oracle.
+"""
+
+import copy
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.grid import SyntheticProvider
+from repro.grid.forecast import (
+    ARForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.scheduler import (
+    RJMS,
+    CarbonBackfillPolicy,
+    EasyBackfillPolicy,
+    FCFSPolicy,
+)
+from repro.simulator import (
+    Cluster,
+    ComponentPowerModel,
+    NodePowerModel,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+HOUR = 3600.0
+DAY = 86400.0
+PM = NodePowerModel(cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2)
+ZONE, SEED = "ES", 7
+
+
+def make_workload():
+    cfg = WorkloadConfig(n_jobs=250, mean_interarrival_s=4000.0,
+                         max_nodes_log2=4, runtime_median_s=2 * HOUR,
+                         runtime_sigma=0.8)
+    return WorkloadGenerator(cfg, seed=3).generate()
+
+
+def carbon_policy(forecaster=None):
+    return CarbonBackfillPolicy(forecaster=forecaster, max_delay_s=DAY,
+                                min_saving_fraction=0.03)
+
+
+def run_all():
+    jobs = make_workload()
+    scenarios = {
+        "fcfs": FCFSPolicy(),
+        "easy": EasyBackfillPolicy(),
+        "carbon-persist": carbon_policy(PersistenceForecaster()),
+        "carbon-sn": carbon_policy(SeasonalNaiveForecaster()),
+        "carbon-ar": carbon_policy(ARForecaster(order=4)),
+        "carbon-oracle": carbon_policy(
+            OracleForecaster(SyntheticProvider(ZONE, seed=SEED))),
+    }
+    out = {}
+    for name, policy in scenarios.items():
+        cluster = Cluster(32, PM, idle_power_off=True)
+        provider = SyntheticProvider(ZONE, seed=SEED)
+        out[name] = RJMS(cluster, copy.deepcopy(jobs), policy,
+                         provider=provider).run()
+    return out
+
+
+def test_bench_scheduling(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for name, r in results.items():
+        assert len(r.completed_jobs) == 250, name
+
+    easy = results["easy"].total_carbon_kg
+    fcfs = results["fcfs"].total_carbon_kg
+    sn = results["carbon-sn"].total_carbon_kg
+    ar = results["carbon-ar"].total_carbon_kg
+    pers = results["carbon-persist"].total_carbon_kg
+    oracle = results["carbon-oracle"].total_carbon_kg
+
+    # EASY beats or matches FCFS on wait time
+    assert results["easy"].mean_wait_s <= \
+        results["fcfs"].mean_wait_s + 1.0
+
+    # carbon-aware saves vs EASY; oracle is the bound; persistence ~ EASY
+    assert sn < easy * 0.99
+    assert ar < easy * 0.99
+    assert oracle <= min(sn, ar) + 1e-6
+    assert pers == pytest.approx(easy, rel=1e-6)
+
+    lines = [f"{'policy':>15s} {'carbon kg':>10s} {'saving':>8s} "
+             f"{'mean wait h':>12s}"]
+    for name, r in results.items():
+        saving = (easy - r.total_carbon_kg) / easy * 100
+        lines.append(f"{name:>15s} {r.total_carbon_kg:10.1f} "
+                     f"{saving:7.1f}% {r.mean_wait_s / 3600:12.2f}")
+    report("E10 — carbon-aware backfill + forecast ablation (§3.3)",
+           "\n".join(lines))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Grid study: where to site, when to run, and how well we can predict.
+
+A site-selection and operations study over the calibrated European
+zones:
+
+1. the Figure-2 zone comparison (means, variability, FI/FR ratio);
+2. green-period statistics per zone — how much exploitable green time a
+   carbon-aware scheduler (§3.3) gets to work with;
+3. forecaster skill per zone (rolling 24h-ahead evaluation) — the §3.1
+   prediction ingredient;
+4. CSV export of a zone's trace for downstream tooling.
+
+Run:  python examples/grid_study.py
+"""
+
+import io
+
+from repro.analysis import render_fig2, zone_ratio
+from repro.grid import (
+    ARForecaster,
+    EnsembleForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    SyntheticProvider,
+    compare_forecasters,
+    find_green_periods,
+    generate_month,
+    green_fraction,
+    write_trace_csv,
+)
+
+DAY = 86400.0
+
+
+def main() -> None:
+    # 1. the Figure-2 comparison
+    print(render_fig2(seed=0))
+    print(f"\nFI/FR ratio: {zone_ratio('FI', 'FR'):.2f}  (paper: 2.1)")
+
+    # 2. green periods per zone
+    print("\nGreen periods (<=90% of monthly mean, >=2h long), Jan 2023:")
+    print(f"{'zone':5s} {'green time':>11s} {'windows':>8s} "
+          f"{'mean window h':>14s}")
+    for zone in ("NO", "FR", "FI", "ES", "DE", "PL"):
+        trace = generate_month(zone, seed=0)
+        periods = find_green_periods(trace, 0.9, min_duration=2 * 3600.0)
+        frac = green_fraction(trace, 0.9)
+        mean_h = (sum(p.duration for p in periods) / len(periods) / 3600.0
+                  if periods else 0.0)
+        print(f"{zone:5s} {frac * 100:10.1f}% {len(periods):8d} "
+              f"{mean_h:14.1f}")
+
+    # 3. forecaster skill per zone
+    print("\n24h-ahead forecast RMSE (6 rolling folds):")
+    names = ["persistence", "seasonal-naive", "ar4", "ensemble"]
+    print(f"{'zone':5s} " + " ".join(f"{n:>15s}" for n in names))
+    for zone in ("ES", "DE", "GB"):
+        table = compare_forecasters(
+            SyntheticProvider(zone, seed=3),
+            {
+                "persistence": PersistenceForecaster(),
+                "seasonal-naive": SeasonalNaiveForecaster(),
+                "ar4": ARForecaster(order=4),
+                "ensemble": EnsembleForecaster(),
+            },
+            fit_window_s=10 * DAY, horizon_steps=24, n_folds=6)
+        print(f"{zone:5s} " + " ".join(
+            f"{table[n]['rmse']:15.1f}" for n in names))
+
+    # 4. CSV export for downstream tooling
+    buf = io.StringIO()
+    write_trace_csv(generate_month("DE", seed=0), buf)
+    lines = buf.getvalue().splitlines()
+    print(f"\nCSV export of the DE trace: {len(lines) - 1} samples, "
+          f"header: {lines[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The reference environment is offline and does not ship the ``wheel``
+package, so PEP 517/660 editable builds (`pip install -e .` with a
+``[build-system]`` table) fail with ``invalid command 'bdist_wheel'``.
+This shim lets pip fall back to the classic ``setup.py develop`` path.
+All metadata lives in pyproject.toml; this file only bridges it.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Sustainability in HPC: Vision and Opportunities' "
+        "(SC-W 2023): carbon-aware HPC modeling, simulation, and scheduling"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

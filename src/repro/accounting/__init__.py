@@ -1,0 +1,54 @@
+"""User-facing carbon accounting (§3.4): reports, analogies, incentives.
+
+"To promote greater awareness among HPC users about the carbon impact
+of their jobs, it becomes important to provide them with carbon-related
+insights" — per-job carbon profiles in job reports, analogies that
+resonate with users (car-driving distances), and incentive schemes that
+charge fewer core-hours for green-period usage.
+
+* :mod:`repro.accounting.corehours` — project core-hour budgets and
+  charging;
+* :mod:`repro.accounting.incentives` — green-period discount schemes;
+* :mod:`repro.accounting.reports` — per-job carbon profiles and
+  rendered job reports (the DCDB extension the paper calls for);
+* :mod:`repro.accounting.analogies` — carbon-equivalence analogies.
+"""
+
+from repro.accounting.corehours import ProjectAccount, CoreHourLedger
+from repro.accounting.incentives import (
+    GreenDiscountPolicy,
+    IncentiveResult,
+    charge_with_incentive,
+)
+from repro.accounting.reports import JobCarbonReport, build_job_report, render_report
+from repro.accounting.export import (
+    ledger_to_csv,
+    reports_to_csv,
+    reports_to_json,
+)
+from repro.accounting.analogies import (
+    car_km_equivalent,
+    tree_years_equivalent,
+    flight_km_equivalent,
+    smartphone_charges_equivalent,
+    describe,
+)
+
+__all__ = [
+    "ProjectAccount",
+    "CoreHourLedger",
+    "GreenDiscountPolicy",
+    "IncentiveResult",
+    "charge_with_incentive",
+    "JobCarbonReport",
+    "build_job_report",
+    "render_report",
+    "ledger_to_csv",
+    "reports_to_csv",
+    "reports_to_json",
+    "car_km_equivalent",
+    "tree_years_equivalent",
+    "flight_km_equivalent",
+    "smartphone_charges_equivalent",
+    "describe",
+]

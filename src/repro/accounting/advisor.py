@@ -1,0 +1,158 @@
+"""Allocation advisor: fixing over-allocation before it happens (§3.4).
+
+The paper's SuperMUC-NG observation — "many users allocate more nodes
+to their jobs than they require" — is best fixed at submission time.
+Given a job's scaling behaviour (Amdahl parallel fraction, measurable
+from two prior runs), the advisor recommends an allocation under an
+explicit objective:
+
+* ``"efficiency"`` — largest allocation whose parallel efficiency stays
+  above a floor (the classic site guideline);
+* ``"energy"`` — the energy-minimal allocation.  Under Amdahl scaling
+  with linear node power this is *monotone*: fewer nodes always burn
+  less energy (node-hours = n/speedup(n) never decreases in n), so the
+  optimum is the smallest allocation the user can tolerate — which is
+  precisely why the §3.4 over-allocation habit is pure carbon waste,
+  with no efficiency excuse;
+* ``"deadline"`` — smallest allocation that still meets a turnaround
+  bound (the greenest choice that is still acceptable; identical to
+  the energy optimum once the deadline binds).
+
+:func:`estimate_parallel_fraction` recovers the Amdahl fraction from
+two (nodes, runtime) measurements — what a job-report epilogue could do
+automatically from history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulator.jobs import SpeedupModel
+from repro.simulator.power import NodePowerModel
+
+__all__ = ["AllocationAdvice", "recommend_allocation",
+           "estimate_parallel_fraction"]
+
+
+@dataclass(frozen=True)
+class AllocationAdvice:
+    """The advisor's output for one job."""
+
+    recommended_nodes: int
+    runtime_s: float
+    efficiency: float
+    energy_kwh: float
+    objective: str
+
+    def __post_init__(self) -> None:
+        if self.recommended_nodes < 1:
+            raise ValueError("recommendation must be >= 1 node")
+
+
+def _runtime(work_1node_s: float, speedup: SpeedupModel, n: int) -> float:
+    return work_1node_s / speedup.speedup(n)
+
+
+def _energy_kwh(runtime_s: float, n: int, power_model: NodePowerModel,
+                utilization: float) -> float:
+    watts = n * power_model.power(utilization)
+    return watts * runtime_s / 3.6e6
+
+
+def recommend_allocation(
+    work_1node_s: float,
+    speedup: SpeedupModel,
+    power_model: NodePowerModel,
+    max_nodes: int,
+    objective: str = "efficiency",
+    utilization: float = 0.85,
+    min_efficiency: float = 0.7,
+    deadline_s: Optional[float] = None,
+) -> AllocationAdvice:
+    """Recommend a node count for a job.
+
+    Parameters
+    ----------
+    work_1node_s:
+        Single-node runtime of the job (seconds).
+    speedup:
+        The job's Amdahl scaling curve.
+    max_nodes:
+        Queue/user ceiling on the allocation.
+    objective:
+        ``"efficiency"``, ``"energy"``, or ``"deadline"``.
+    min_efficiency:
+        Efficiency floor for the ``"efficiency"`` objective.
+    deadline_s:
+        Turnaround bound for the ``"deadline"`` objective.
+    """
+    if work_1node_s <= 0:
+        raise ValueError("work must be positive")
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1")
+    if not 0 < min_efficiency <= 1:
+        raise ValueError("min_efficiency must be in (0, 1]")
+
+    candidates = range(1, max_nodes + 1)
+    if objective == "efficiency":
+        best = max((n for n in candidates
+                    if speedup.efficiency(n) >= min_efficiency),
+                   default=1)
+    elif objective == "energy":
+        best = min(candidates,
+                   key=lambda n: _energy_kwh(
+                       _runtime(work_1node_s, speedup, n), n,
+                       power_model, utilization))
+    elif objective == "deadline":
+        if deadline_s is None or deadline_s <= 0:
+            raise ValueError("deadline objective needs deadline_s > 0")
+        feasible = [n for n in candidates
+                    if _runtime(work_1node_s, speedup, n) <= deadline_s]
+        if not feasible:
+            best = max_nodes  # best effort: run as wide as allowed
+        else:
+            best = min(feasible)
+    else:
+        raise ValueError(f"unknown objective {objective!r}; use "
+                         "'efficiency', 'energy', or 'deadline'")
+
+    rt = _runtime(work_1node_s, speedup, best)
+    return AllocationAdvice(
+        recommended_nodes=best,
+        runtime_s=rt,
+        efficiency=speedup.efficiency(best),
+        energy_kwh=_energy_kwh(rt, best, power_model, utilization),
+        objective=objective,
+    )
+
+
+def estimate_parallel_fraction(n1: int, t1: float,
+                               n2: int, t2: float) -> float:
+    """Recover the Amdahl parallel fraction from two measured runs.
+
+    Solving ``t = T1 * ((1-p) + p/n)`` for two (n, t) pairs gives::
+
+        p = (1 - t2/t1... )
+
+    derived below without needing T1.  Returns p clipped to [0, 1].
+
+    Raises if the measurements are degenerate (same node count) or
+    inconsistent (more nodes strictly slower is allowed — p clamps to 0).
+    """
+    if n1 == n2:
+        raise ValueError("need two different node counts")
+    if t1 <= 0 or t2 <= 0 or n1 < 1 or n2 < 1:
+        raise ValueError("runs must have positive runtimes and nodes")
+    # Order so (n1, t1) is the smaller allocation.
+    if n1 > n2:
+        n1, t1, n2, t2 = n2, t2, n1, t1
+    # t1/t2 = ((1-p) + p/n1) / ((1-p) + p/n2)
+    r = t1 / t2
+    # Solve r * ((1-p) + p/n2) = (1-p) + p/n1:
+    #   p * (r/n2 - 1/n1 - r + 1) = 1 - r
+    denom = r / n2 - 1.0 / n1 - r + 1.0
+    if abs(denom) < 1e-12:
+        return 1.0 if abs(1.0 - r) < 1e-12 else 0.0
+    p = (1.0 - r) / denom
+    return float(min(1.0, max(0.0, p)))

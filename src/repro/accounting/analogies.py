@@ -1,0 +1,88 @@
+"""Carbon-equivalence analogies for job reports (§3.4).
+
+"The carbon footprint data can also be presented using analogies that
+resonate with typical HPC system users.  For example, by equating the
+emitted carbon to the carbon produced by driving a car between two
+regions within a country."
+
+Factors are round public LCA numbers (EEA fleet-average car, economy
+long-haul flight per seat-km, EPA smartphone charge, a growing tree's
+annual sequestration); their role is communicative, not metrological.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CAR_G_PER_KM",
+    "FLIGHT_G_PER_KM",
+    "TREE_KG_PER_YEAR",
+    "SMARTPHONE_G_PER_CHARGE",
+    "car_km_equivalent",
+    "flight_km_equivalent",
+    "tree_years_equivalent",
+    "smartphone_charges_equivalent",
+    "describe",
+]
+
+#: EU fleet-average passenger car, gCO2e per km.
+CAR_G_PER_KM = 120.0
+#: Economy air travel, gCO2e per passenger-km.
+FLIGHT_G_PER_KM = 150.0
+#: CO2 sequestered by one growing tree per year, kg.
+TREE_KG_PER_YEAR = 21.0
+#: One full smartphone charge, gCO2e.
+SMARTPHONE_G_PER_CHARGE = 8.0
+
+
+def _check(carbon_g: float) -> float:
+    if carbon_g < 0:
+        raise ValueError("carbon must be non-negative")
+    return float(carbon_g)
+
+
+def car_km_equivalent(carbon_g: float) -> float:
+    """Kilometres of average-car driving emitting the same CO2e."""
+    return _check(carbon_g) / CAR_G_PER_KM
+
+
+def flight_km_equivalent(carbon_g: float) -> float:
+    """Passenger-kilometres of economy flying with the same CO2e."""
+    return _check(carbon_g) / FLIGHT_G_PER_KM
+
+
+def tree_years_equivalent(carbon_g: float) -> float:
+    """Tree-years needed to sequester the emitted CO2e."""
+    return _check(carbon_g) / (TREE_KG_PER_YEAR * 1000.0)
+
+
+def smartphone_charges_equivalent(carbon_g: float) -> float:
+    """Smartphone charges with the same CO2e."""
+    return _check(carbon_g) / SMARTPHONE_G_PER_CHARGE
+
+
+#: Reference drives between regions (the paper's example analogy).
+_REFERENCE_DRIVES = [
+    ("Munich", "Hamburg", 780.0),
+    ("Munich", "Berlin", 585.0),
+    ("Munich", "Frankfurt", 395.0),
+    ("Garching", "Munich", 15.0),
+]
+
+
+def describe(carbon_g: float) -> str:
+    """Human-readable analogy line for a job report.
+
+    Picks the largest reference drive not exceeding the equivalent
+    distance, plus the tree-year figure.
+    """
+    km = car_km_equivalent(_check(carbon_g))
+    line = f"~= driving a car for {km:.0f} km"
+    best = None
+    for a, b, d in _REFERENCE_DRIVES:
+        if d <= km and (best is None or d > best[2]):
+            best = (a, b, d)
+    if best is not None:
+        trips = km / best[2]
+        line += f" ({trips:.1f}x {best[0]} -> {best[1]})"
+    line += f", or {tree_years_equivalent(carbon_g):.2f} tree-years to offset"
+    return line

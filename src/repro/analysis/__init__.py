@@ -1,0 +1,34 @@
+"""Analysis helpers: statistics and paper-figure rendering.
+
+* :mod:`repro.analysis.stats` — series statistics used by the
+  experiment harness (daily means/std, zone ratios, result summaries);
+* :mod:`repro.analysis.tables` — ASCII renderings of the paper's
+  Figure 1, Figure 2, and Table 1 from the implemented models (the
+  benches print these to stand in for the plots).
+"""
+
+from repro.analysis.stats import (
+    daily_statistics,
+    zone_ratio,
+    zone_statistics_table,
+    relative_saving,
+)
+from repro.analysis.tables import (
+    ascii_bar,
+    render_fig1,
+    render_fig2,
+    render_table1,
+    render_carbon500,
+)
+
+__all__ = [
+    "daily_statistics",
+    "zone_ratio",
+    "zone_statistics_table",
+    "relative_saving",
+    "ascii_bar",
+    "render_fig1",
+    "render_fig2",
+    "render_table1",
+    "render_carbon500",
+]

@@ -1,0 +1,102 @@
+"""Parameter-sweep harness for policy sensitivity studies.
+
+The ablation experiments (DESIGN.md §5) all share one shape: vary one
+or two policy knobs over a grid, re-run the same seeded scenario, and
+tabulate a few scalar outcomes against a baseline.  This module is that
+shape, factored out:
+
+* :func:`sweep` — run ``scenario(**params)`` over a parameter grid and
+  collect named metrics;
+* :class:`SweepResult` — the table, with baseline-relative savings and
+  an ASCII rendering.
+
+The scenario callable owns all seeding; the harness adds none (sweeps
+must be exactly reproducible).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome table of one parameter sweep."""
+
+    param_names: List[str]
+    metric_names: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one parameter or metric, in row order."""
+        if self.rows and name not in self.rows[0]:
+            raise KeyError(
+                f"unknown column {name!r}; have "
+                f"{sorted(self.rows[0])}")
+        return [r[name] for r in self.rows]
+
+    def best(self, metric: str, minimize: bool = True) -> Dict[str, Any]:
+        """The row optimizing ``metric``."""
+        if not self.rows:
+            raise ValueError("empty sweep")
+        key = (min if minimize else max)
+        return key(self.rows, key=lambda r: r[metric])
+
+    def relative_to(self, metric: str,
+                    baseline: float) -> List[float]:
+        """(baseline - value) / baseline per row — positive saves."""
+        if baseline <= 0:
+            raise ValueError("baseline must be positive")
+        return [(baseline - r[metric]) / baseline for r in self.rows]
+
+    def render(self, floatfmt: str = "{:.2f}") -> str:
+        """Aligned text table of the sweep."""
+        cols = self.param_names + self.metric_names
+        widths = {c: max(len(c), 10) for c in cols}
+        lines = [" ".join(f"{c:>{widths[c]}s}" for c in cols)]
+        for r in self.rows:
+            cells = []
+            for c in cols:
+                v = r[c]
+                s = floatfmt.format(v) if isinstance(v, float) else str(v)
+                cells.append(f"{s:>{widths[c]}s}")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+
+def sweep(scenario: Callable[..., Mapping[str, float]],
+          grid: Mapping[str, Sequence[Any]],
+          metric_names: Optional[Sequence[str]] = None) -> SweepResult:
+    """Run ``scenario`` over the Cartesian product of ``grid``.
+
+    ``scenario(**params)`` must return a mapping of metric name ->
+    value; metric names are taken from the first row unless given.
+    Parameter order in the result follows the grid's key order.
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    names = list(grid)
+    for n, values in grid.items():
+        if not values:
+            raise ValueError(f"parameter {n!r} has no values")
+    result: Optional[SweepResult] = None
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        metrics = dict(scenario(**params))
+        if result is None:
+            result = SweepResult(
+                param_names=names,
+                metric_names=(list(metric_names) if metric_names
+                              else sorted(metrics)))
+        missing = set(result.metric_names) - set(metrics)
+        if missing:
+            raise ValueError(f"scenario omitted metrics {sorted(missing)}")
+        row = dict(params)
+        row.update({m: metrics[m] for m in result.metric_names})
+        result.rows.append(row)
+    assert result is not None
+    return result

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operational entry points for the reproduction's artifacts and tools:
+
+====================  ====================================================
+command                what it does
+====================  ====================================================
+``fig1``               render Figure 1 (embodied breakdown, Top-3 systems)
+``fig2``               render Figure 2 (European daily intensities)
+``table1``             render Table 1 (LRZ system lifetimes)
+``carbon500``          render the Carbon500 ranking
+``audit SYSTEM``       embodied + siting audit of a known system
+``simulate``           run a carbon-aware scheduling simulation
+``forecast ZONE``      rolling forecast-skill table for one zone
+``advise``             allocation advice for a job's scaling profile
+====================  ====================================================
+
+Everything prints to stdout; machine-readable exports go through
+:mod:`repro.accounting.export` and :mod:`repro.grid.io` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Sustainability-in-HPC reproduction toolkit")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1: embodied carbon breakdown")
+
+    fig2 = sub.add_parser("fig2", help="Figure 2: daily carbon intensities")
+    fig2.add_argument("--zones", default=None,
+                      help="comma-separated zone codes (default: all)")
+    fig2.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="Table 1: LRZ system lifetimes")
+    sub.add_parser("carbon500", help="the Carbon500 ranking")
+
+    audit = sub.add_parser("audit", help="audit a known system inventory")
+    audit.add_argument("system", help='e.g. "SuperMUC-NG"')
+    audit.add_argument("--intensity", type=float, default=20.0,
+                       help="site grid intensity gCO2/kWh (default: LRZ 20)")
+
+    sim = sub.add_parser("simulate", help="carbon-aware scheduling run")
+    sim.add_argument("--nodes", type=int, default=32)
+    sim.add_argument("--jobs", type=int, default=100)
+    sim.add_argument("--zone", default="DE")
+    sim.add_argument("--policy", choices=["fcfs", "easy", "carbon"],
+                     default="carbon")
+    sim.add_argument("--seed", type=int, default=0)
+
+    fc = sub.add_parser("forecast", help="forecast-skill table for a zone")
+    fc.add_argument("zone")
+    fc.add_argument("--seed", type=int, default=3)
+
+    adv = sub.add_parser("advise", help="allocation advice for a job")
+    adv.add_argument("--work-hours", type=float, required=True,
+                     help="single-node runtime in hours")
+    adv.add_argument("--parallel-fraction", type=float, default=0.98)
+    adv.add_argument("--max-nodes", type=int, default=64)
+    adv.add_argument("--objective", default="efficiency",
+                     choices=["efficiency", "energy", "deadline"])
+    adv.add_argument("--deadline-hours", type=float, default=None)
+    return p
+
+
+def _cmd_fig1() -> None:
+    from repro.analysis import render_fig1
+    print(render_fig1())
+
+
+def _cmd_fig2(args) -> None:
+    from repro.analysis import render_fig2
+    zones = args.zones.split(",") if args.zones else None
+    print(render_fig2(zones=zones, seed=args.seed))
+
+
+def _cmd_table1() -> None:
+    from repro.analysis import render_table1
+    print(render_table1())
+
+
+def _cmd_carbon500() -> None:
+    from repro.analysis import render_carbon500
+    from repro.embodied import carbon500_ranking
+    from repro.grid.zones import EUROPE_JAN2023
+
+    zi = {z: p.mean_intensity for z, p in EUROPE_JAN2023.items()}
+    print(render_carbon500(carbon500_ranking(zone_intensities=zi)))
+
+
+def _cmd_audit(args) -> None:
+    from repro.analysis import render_fig1
+    from repro.core import FootprintModel
+    from repro.embodied import KNOWN_SYSTEMS, system_embodied_breakdown
+
+    system = KNOWN_SYSTEMS.get(args.system)
+    if system is None:
+        raise SystemExit(
+            f"unknown system {args.system!r}; known: "
+            f"{', '.join(sorted(KNOWN_SYSTEMS))}")
+    print(render_fig1([system]))
+    b = system_embodied_breakdown(system)
+    model = FootprintModel(b["total"], system.avg_power_mw * 1e6,
+                           system.lifetime_years, args.intensity)
+    r = model.lifetime_report()
+    print(f"lifetime footprint @ {args.intensity:.0f} g/kWh: "
+          f"{r.total_kg / 1e3:.0f} t "
+          f"(embodied share {r.embodied_share:.1%})")
+
+
+def _cmd_simulate(args) -> None:
+    from repro.grid import SyntheticProvider
+    from repro.scheduler import (
+        RJMS,
+        CarbonBackfillPolicy,
+        EasyBackfillPolicy,
+        FCFSPolicy,
+    )
+    from repro.simulator import (
+        Cluster,
+        ComponentPowerModel,
+        NodePowerModel,
+        WorkloadConfig,
+        WorkloadGenerator,
+    )
+
+    policies = {"fcfs": FCFSPolicy, "easy": EasyBackfillPolicy,
+                "carbon": CarbonBackfillPolicy}
+    import math
+
+    pm = NodePowerModel(cpus=(ComponentPowerModel("cpu", 50, 240),) * 2)
+    cluster = Cluster(args.nodes, pm, idle_power_off=True)
+    # jobs must fit the cluster: cap sizes at the largest power of two
+    # that fits (the RJMS rejects guaranteed-deadlock workloads)
+    max_log2 = min(5, int(math.log2(args.nodes)))
+    jobs = WorkloadGenerator(
+        WorkloadConfig(n_jobs=args.jobs, max_nodes_log2=max_log2),
+        seed=args.seed).generate()
+    provider = SyntheticProvider(args.zone, seed=args.seed)
+    result = RJMS(cluster, jobs, policies[args.policy](),
+                  provider=provider).run()
+    print(f"policy={args.policy} zone={args.zone} "
+          f"nodes={args.nodes} jobs={args.jobs}")
+    print(result.summary())
+
+
+def _cmd_forecast(args) -> None:
+    from repro.grid import (
+        ARForecaster,
+        EnsembleForecaster,
+        PersistenceForecaster,
+        SeasonalNaiveForecaster,
+        SyntheticProvider,
+        compare_forecasters,
+    )
+
+    provider = SyntheticProvider(args.zone, seed=args.seed)
+    table = compare_forecasters(
+        provider,
+        {
+            "persistence": PersistenceForecaster(),
+            "seasonal-naive": SeasonalNaiveForecaster(),
+            "ar4": ARForecaster(order=4),
+            "ensemble": EnsembleForecaster(),
+        },
+        fit_window_s=10 * 86400.0, horizon_steps=24, n_folds=6)
+    print(f"24h-ahead forecast skill, zone {args.zone.upper()}:")
+    print(f"{'forecaster':>15s} {'MAE':>7s} {'RMSE':>7s} {'MAPE%':>7s}")
+    for name, row in sorted(table.items(), key=lambda kv: kv[1]["rmse"]):
+        print(f"{name:>15s} {row['mae']:7.1f} {row['rmse']:7.1f} "
+              f"{row['mape']:7.1f}")
+
+
+def _cmd_advise(args) -> None:
+    from repro.accounting.advisor import recommend_allocation
+    from repro.simulator import ComponentPowerModel, NodePowerModel, SpeedupModel
+
+    pm = NodePowerModel(cpus=(ComponentPowerModel("cpu", 50, 240),) * 2)
+    advice = recommend_allocation(
+        work_1node_s=args.work_hours * 3600.0,
+        speedup=SpeedupModel(args.parallel_fraction),
+        power_model=pm,
+        max_nodes=args.max_nodes,
+        objective=args.objective,
+        deadline_s=(args.deadline_hours * 3600.0
+                    if args.deadline_hours else None),
+    )
+    print(f"objective: {advice.objective}")
+    print(f"recommended allocation: {advice.recommended_nodes} nodes")
+    print(f"expected runtime: {advice.runtime_s / 3600:.2f} h  "
+          f"(parallel efficiency {advice.efficiency:.0%})")
+    print(f"expected energy: {advice.energy_kwh:.1f} kWh")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig1":
+        _cmd_fig1()
+    elif args.command == "fig2":
+        _cmd_fig2(args)
+    elif args.command == "table1":
+        _cmd_table1()
+    elif args.command == "carbon500":
+        _cmd_carbon500()
+    elif args.command == "audit":
+        _cmd_audit(args)
+    elif args.command == "simulate":
+        _cmd_simulate(args)
+    elif args.command == "forecast":
+        _cmd_forecast(args)
+    elif args.command == "advise":
+        _cmd_advise(args)
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Carbon-efficiency metrics for design evaluation (§2.1).
+
+The paper, citing ACT (Gupta et al., ISCA'22), notes that "the optimal
+design point could change depending on the design objective metric such
+as CDP (Carbon Delay Product), CEP (Carbon Energy Product), and others".
+These are the objective functions :mod:`repro.embodied.dse` optimizes:
+
+* **CDP** — total carbon x execution delay: favors fast designs even at
+  some carbon cost (analogous to EDP);
+* **CEP** — total carbon x energy: favors energy-lean designs;
+* **CADP** — carbon x area x delay: penalizes silicon hunger directly.
+
+"Total carbon" is the sum of embodied carbon (amortized over the
+evaluated workload) and operational carbon of executing it, so every
+metric depends on the grid intensity where the part will operate —
+which is exactly why the paper calls for end-to-end, site-aware design.
+All functions are pure and array-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cdp",
+    "cep",
+    "cadp",
+    "edp",
+    "carbon_per_unit_work",
+    "carbon_efficiency",
+]
+
+
+def _check_nonneg(**kwargs) -> None:
+    for name, v in kwargs.items():
+        if np.any(np.asarray(v) < 0):
+            raise ValueError(f"{name} must be non-negative")
+
+
+def cdp(carbon_kg, delay_s):
+    """Carbon-Delay Product (kgCO2e * s). Lower is better."""
+    _check_nonneg(carbon_kg=carbon_kg, delay_s=delay_s)
+    return np.multiply(carbon_kg, delay_s)
+
+
+def cep(carbon_kg, energy_kwh):
+    """Carbon-Energy Product (kgCO2e * kWh). Lower is better."""
+    _check_nonneg(carbon_kg=carbon_kg, energy_kwh=energy_kwh)
+    return np.multiply(carbon_kg, energy_kwh)
+
+
+def cadp(carbon_kg, area_mm2, delay_s):
+    """Carbon-Area-Delay Product (kgCO2e * mm2 * s). Lower is better."""
+    _check_nonneg(carbon_kg=carbon_kg, area_mm2=area_mm2, delay_s=delay_s)
+    return np.multiply(np.multiply(carbon_kg, area_mm2), delay_s)
+
+
+def edp(energy_kwh, delay_s):
+    """Energy-Delay Product (kWh * s) — the classic carbon-blind metric,
+    kept for comparison in the DSE ablation."""
+    _check_nonneg(energy_kwh=energy_kwh, delay_s=delay_s)
+    return np.multiply(energy_kwh, delay_s)
+
+
+def carbon_per_unit_work(carbon_kg, work_units):
+    """kgCO2e per unit of delivered work (e.g. per exaFLOP, per job)."""
+    _check_nonneg(carbon_kg=carbon_kg)
+    w = np.asarray(work_units, dtype=np.float64)
+    if np.any(w <= 0):
+        raise ValueError("work_units must be positive")
+    return np.asarray(carbon_kg, dtype=np.float64) / w
+
+
+def carbon_efficiency(work_units, carbon_kg):
+    """Delivered work per kgCO2e — the Carbon500 ranking metric (§2.2).
+
+    Higher is better; the inverse of :func:`carbon_per_unit_work`.
+    """
+    _check_nonneg(work_units=work_units)
+    c = np.asarray(carbon_kg, dtype=np.float64)
+    if np.any(c <= 0):
+        raise ValueError("carbon_kg must be positive")
+    return np.asarray(work_units, dtype=np.float64) / c

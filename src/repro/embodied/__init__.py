@@ -1,0 +1,155 @@
+"""Embodied-carbon substrate: ACT-style architectural carbon modeling.
+
+Implements the methodology the paper uses for Figure 1 — Li et al.
+(arXiv:2306.13177), built on the ACT architectural carbon model
+(Gupta et al., ISCA'22) — from scratch:
+
+* :mod:`repro.embodied.act` — die yield and per-area fab carbon
+  (energy-per-area x fab grid intensity + direct gas + materials);
+* :mod:`repro.embodied.fabs` — technology-node and fab-location database;
+* :mod:`repro.embodied.components` — CPU/GPU/DRAM/SSD/HDD calculators;
+* :mod:`repro.embodied.packaging` — chiplet / 2.5D-interposer packaging
+  model (§2.1, Ponte-Vecchio-style multi-fab packages);
+* :mod:`repro.embodied.systems` — published inventories of Juwels
+  Booster, SuperMUC-NG, Hawk (the three systems of Figure 1) and others;
+* :mod:`repro.embodied.dse` — carbon-aware processor design-space
+  exploration under CDP/CEP objectives (§2.1);
+* :mod:`repro.embodied.lifecycle` — lifetime extension, component reuse,
+  and recycling decisions (§2.3, including the HDD reuse-vs-recycle
+  factor);
+* :mod:`repro.embodied.procurement` — system design under a total carbon
+  budget with embodied<->operational trade-off (§2.2);
+* :mod:`repro.embodied.carbon500` — the paper's proposed Carbon500
+  ranking (§2.2).
+"""
+
+from repro.embodied.act import (
+    FabProcess,
+    die_yield,
+    logic_die_carbon,
+    wafer_carbon_per_cm2,
+)
+from repro.embodied.fabs import (
+    FabLocation,
+    FAB_LOCATIONS,
+    PROCESS_NODES,
+    get_fab_location,
+    get_process,
+)
+from repro.embodied.components import (
+    ChipletSpec,
+    ComponentCarbon,
+    CPUSpec,
+    GPUSpec,
+    cpu_carbon,
+    gpu_carbon,
+    dram_carbon,
+    ssd_carbon,
+    hdd_carbon,
+    DRAM_KG_PER_GB,
+    SSD_KG_PER_GB,
+    HDD_KG_PER_GB,
+)
+from repro.embodied.packaging import PackageSpec, packaging_carbon, package_yield
+from repro.embodied.systems import (
+    SystemInventory,
+    StorageMix,
+    JUWELS_BOOSTER,
+    SUPERMUC_NG,
+    HAWK,
+    FRONTIER,
+    FUGAKU,
+    KNOWN_SYSTEMS,
+    system_embodied_breakdown,
+    memory_storage_share,
+)
+from repro.embodied.dse import (
+    DesignPoint,
+    DSEResult,
+    enumerate_designs,
+    evaluate_design,
+    explore,
+)
+from repro.embodied.lifecycle import (
+    ComponentLifecycle,
+    LifetimeRecord,
+    LRZ_SYSTEM_HISTORY,
+    amortized_embodied_rate,
+    lifetime_extension_savings,
+    reuse_savings,
+    recycle_savings,
+    reuse_vs_recycle_factor,
+    memory_reuse_scenario,
+)
+from repro.embodied.procurement import (
+    CandidateConfig,
+    ProcurementResult,
+    optimize_procurement,
+    shift_embodied_to_operational,
+)
+from repro.embodied.carbon500 import Carbon500Entry, carbon500_ranking
+from repro.embodied.interconnect import (
+    InterconnectScenario,
+    interconnect_carbon_kg,
+    figure1_share_with_network,
+)
+
+__all__ = [
+    "FabProcess",
+    "die_yield",
+    "logic_die_carbon",
+    "wafer_carbon_per_cm2",
+    "FabLocation",
+    "FAB_LOCATIONS",
+    "PROCESS_NODES",
+    "get_fab_location",
+    "get_process",
+    "ChipletSpec",
+    "ComponentCarbon",
+    "CPUSpec",
+    "GPUSpec",
+    "cpu_carbon",
+    "gpu_carbon",
+    "dram_carbon",
+    "ssd_carbon",
+    "hdd_carbon",
+    "DRAM_KG_PER_GB",
+    "SSD_KG_PER_GB",
+    "HDD_KG_PER_GB",
+    "PackageSpec",
+    "packaging_carbon",
+    "package_yield",
+    "SystemInventory",
+    "StorageMix",
+    "JUWELS_BOOSTER",
+    "SUPERMUC_NG",
+    "HAWK",
+    "FRONTIER",
+    "FUGAKU",
+    "KNOWN_SYSTEMS",
+    "system_embodied_breakdown",
+    "memory_storage_share",
+    "DesignPoint",
+    "DSEResult",
+    "enumerate_designs",
+    "evaluate_design",
+    "explore",
+    "ComponentLifecycle",
+    "LifetimeRecord",
+    "LRZ_SYSTEM_HISTORY",
+    "amortized_embodied_rate",
+    "lifetime_extension_savings",
+    "reuse_savings",
+    "recycle_savings",
+    "reuse_vs_recycle_factor",
+    "memory_reuse_scenario",
+    "CandidateConfig",
+    "ProcurementResult",
+    "optimize_procurement",
+    "shift_embodied_to_operational",
+    "Carbon500Entry",
+    "carbon500_ranking",
+    "InterconnectScenario",
+    "interconnect_carbon_kg",
+    "figure1_share_with_network",
+]

@@ -1,0 +1,226 @@
+"""Component-level embodied carbon: CPU, GPU, DRAM, SSD, HDD.
+
+Logic parts (CPU/GPU) are modeled bottom-up from their chiplets via the
+ACT die model plus the packaging model.  Memory and storage are modeled
+per-GB, the convention of both ACT and Li et al.: DRAM/NAND fabs publish
+capacity-normalized LCA factors, and per-GB factors are what makes the
+"memory and storage account for ~half of embodied carbon" observation of
+Figure 1 reproducible from system capacity numbers alone.
+
+Per-GB constants (kgCO2e/GB) sit in the published ranges: DRAM a few
+tenths, SSD/NAND about half of DRAM per GB, HDD one to two orders of
+magnitude below SSD (platters are cheap carbon; flash dies are not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.embodied.act import FabProcess, logic_die_carbon
+from repro.embodied.packaging import PackageSpec, packaging_carbon
+
+__all__ = [
+    "ChipletSpec",
+    "ComponentCarbon",
+    "CPUSpec",
+    "GPUSpec",
+    "cpu_carbon",
+    "gpu_carbon",
+    "dram_carbon",
+    "ssd_carbon",
+    "hdd_carbon",
+    "DRAM_KG_PER_GB",
+    "SSD_KG_PER_GB",
+    "HDD_KG_PER_GB",
+]
+
+#: DRAM embodied carbon per GB by generation (kgCO2e/GB).  Newer
+#: generations are denser (less wafer area per GB) but use more complex
+#: processes; the net factor declines slowly.
+DRAM_KG_PER_GB: Dict[str, float] = {
+    "DDR3": 0.190,
+    "DDR4": 0.1391,
+    "DDR5": 0.115,
+    "HBM2": 0.175,
+    "HBM2E": 0.165,
+    "HBM3": 0.150,
+}
+
+#: NAND flash (SSD) embodied carbon per GB (kgCO2e/GB), incl. controller.
+SSD_KG_PER_GB: float = 0.024
+
+#: HDD embodied carbon per GB (kgCO2e/GB).  Mechanical storage carries
+#: far less fab carbon per GB than flash.
+HDD_KG_PER_GB: float = 0.0014
+
+
+@dataclass(frozen=True)
+class ChipletSpec:
+    """One die in a package: area plus the process it is fabbed on."""
+
+    area_mm2: float
+    node_nm: int
+    fab_location: str = "TW"
+    count: int = 1
+    #: fraction of defective dies still sellable with units disabled
+    #: (yield harvesting; see :func:`repro.embodied.act.effective_yield`).
+    harvest_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 <= 0:
+            raise ValueError("chiplet area must be positive")
+        if self.count < 1:
+            raise ValueError("chiplet count must be >= 1")
+        if not 0.0 <= self.harvest_fraction <= 1.0:
+            raise ValueError("harvest_fraction must be in [0, 1]")
+
+    @property
+    def fab(self) -> FabProcess:
+        return FabProcess.named(self.node_nm, self.fab_location)
+
+
+@dataclass(frozen=True)
+class ComponentCarbon:
+    """Embodied-carbon breakdown of one component (kgCO2e)."""
+
+    manufacturing_kg: float
+    packaging_kg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.manufacturing_kg < 0 or self.packaging_kg < 0:
+            raise ValueError("carbon terms must be non-negative")
+
+    @property
+    def total_kg(self) -> float:
+        return self.manufacturing_kg + self.packaging_kg
+
+    def __add__(self, other: "ComponentCarbon") -> "ComponentCarbon":
+        return ComponentCarbon(self.manufacturing_kg + other.manufacturing_kg,
+                               self.packaging_kg + other.packaging_kg)
+
+    def scaled(self, n: float) -> "ComponentCarbon":
+        """Carbon of ``n`` identical components."""
+        if n < 0:
+            raise ValueError("count must be non-negative")
+        return ComponentCarbon(self.manufacturing_kg * n, self.packaging_kg * n)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU as a set of chiplets plus a packaging technology.
+
+    Monolithic CPUs (e.g. Intel Skylake-SP) are a single chiplet with
+    ``"monolithic"`` packaging; AMD EPYC parts are CCD+IOD chiplets on an
+    organic substrate.
+    """
+
+    name: str
+    chiplets: Tuple[ChipletSpec, ...]
+    packaging: PackageSpec = field(default_factory=PackageSpec)
+    tdp_watts: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.chiplets:
+            raise ValueError("CPU needs at least one chiplet")
+        if self.tdp_watts <= 0:
+            raise ValueError("TDP must be positive")
+
+    @property
+    def n_dies(self) -> int:
+        return sum(c.count for c in self.chiplets)
+
+    @property
+    def total_die_area_mm2(self) -> float:
+        return sum(c.area_mm2 * c.count for c in self.chiplets)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU: compute die(s) + on-package HBM stacks on a 2.5D interposer.
+
+    HBM is DRAM and is therefore *attributed to the GPU component class*
+    here, matching Li et al.'s accounting where the on-package memory of
+    an accelerator belongs to the accelerator (system DIMMs are counted
+    as "memory").
+    """
+
+    name: str
+    chiplets: Tuple[ChipletSpec, ...]
+    hbm_gb: float = 0.0
+    hbm_generation: str = "HBM2E"
+    packaging: PackageSpec = field(default_factory=lambda: PackageSpec(
+        technology="interposer_2_5d"))
+    tdp_watts: float = 400.0
+
+    def __post_init__(self) -> None:
+        if not self.chiplets:
+            raise ValueError("GPU needs at least one compute chiplet")
+        if self.hbm_gb < 0:
+            raise ValueError("HBM capacity must be non-negative")
+        if self.hbm_generation not in DRAM_KG_PER_GB:
+            raise ValueError(f"unknown HBM generation {self.hbm_generation!r}")
+        if self.tdp_watts <= 0:
+            raise ValueError("TDP must be positive")
+
+    @property
+    def n_dies(self) -> int:
+        # HBM stacks count as attach steps too (4 stacks typical for ~40-96GB).
+        hbm_stacks = 4 if self.hbm_gb > 0 else 0
+        return sum(c.count for c in self.chiplets) + hbm_stacks
+
+    @property
+    def total_die_area_mm2(self) -> float:
+        return sum(c.area_mm2 * c.count for c in self.chiplets)
+
+
+def _chiplets_carbon(chiplets: Sequence[ChipletSpec]) -> float:
+    """Summed good-die carbon over a chiplet list (kgCO2e)."""
+    return sum(
+        logic_die_carbon(c.area_mm2, c.fab,
+                         harvest_fraction=c.harvest_fraction) * c.count
+        for c in chiplets)
+
+
+def cpu_carbon(spec: CPUSpec) -> ComponentCarbon:
+    """Embodied carbon of one CPU package (kgCO2e)."""
+    return ComponentCarbon(
+        manufacturing_kg=_chiplets_carbon(spec.chiplets),
+        packaging_kg=packaging_carbon(spec.packaging, spec.n_dies),
+    )
+
+
+def gpu_carbon(spec: GPUSpec) -> ComponentCarbon:
+    """Embodied carbon of one GPU package incl. its HBM (kgCO2e)."""
+    manufacturing = _chiplets_carbon(spec.chiplets)
+    manufacturing += spec.hbm_gb * DRAM_KG_PER_GB[spec.hbm_generation]
+    return ComponentCarbon(
+        manufacturing_kg=manufacturing,
+        packaging_kg=packaging_carbon(spec.packaging, spec.n_dies),
+    )
+
+
+def dram_carbon(capacity_gb: float, generation: str = "DDR4") -> ComponentCarbon:
+    """Embodied carbon of ``capacity_gb`` of system DRAM (kgCO2e)."""
+    if capacity_gb < 0:
+        raise ValueError("capacity must be non-negative")
+    try:
+        factor = DRAM_KG_PER_GB[generation]
+    except KeyError:
+        raise KeyError(f"unknown DRAM generation {generation!r}; "
+                       f"available: {', '.join(sorted(DRAM_KG_PER_GB))}") from None
+    return ComponentCarbon(manufacturing_kg=capacity_gb * factor)
+
+
+def ssd_carbon(capacity_gb: float) -> ComponentCarbon:
+    """Embodied carbon of ``capacity_gb`` of flash storage (kgCO2e)."""
+    if capacity_gb < 0:
+        raise ValueError("capacity must be non-negative")
+    return ComponentCarbon(manufacturing_kg=capacity_gb * SSD_KG_PER_GB)
+
+
+def hdd_carbon(capacity_gb: float) -> ComponentCarbon:
+    """Embodied carbon of ``capacity_gb`` of disk storage (kgCO2e)."""
+    if capacity_gb < 0:
+        raise ValueError("capacity must be non-negative")
+    return ComponentCarbon(manufacturing_kg=capacity_gb * HDD_KG_PER_GB)

@@ -1,0 +1,155 @@
+"""Technology-node and fab-location database for the ACT-style model.
+
+The embodied carbon of a logic die depends on (ACT, Gupta et al. ISCA'22):
+
+* the **technology node** — smaller nodes need more lithography passes
+  (EUV at <=7nm), so energy-per-area (EPA), direct fab gas emissions
+  per area (GPA), and material procurement per area (MPA) all grow as
+  feature size shrinks, and defect density is higher early in a node's
+  life;
+* the **fab location** — EPA is multiplied by the carbon intensity of
+  the grid powering the fab (Taiwan's fossil-heavy grid vs. a
+  hypothetical renewable-powered fab), which the paper highlights as
+  step (1) of end-to-end carbon-aware processor design (§2.1).
+
+Values follow the published ACT constants in magnitude (EPA in the
+0.7-3.1 kWh/cm2 range from 28nm down to 5nm; GPA ~0.1-0.3 kg/cm2;
+MPA ~0.5 kg/cm2; defect density 0.07-0.2 /cm2) without claiming
+digit-exact fidelity — the reproduction targets the *shares and shapes*
+of Figure 1, which are robust to small constant changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "ProcessNode",
+    "FabLocation",
+    "PROCESS_NODES",
+    "FAB_LOCATIONS",
+    "get_process",
+    "get_fab_location",
+]
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """Per-area manufacturing parameters of one technology node.
+
+    Parameters
+    ----------
+    node_nm:
+        Nominal feature size in nanometres (name of the node).
+    epa_kwh_per_cm2:
+        Fab energy per unit die area (kWh/cm2). Multiplied by the fab
+        grid's carbon intensity to get the electricity part of
+        manufacturing carbon.
+    gpa_kg_per_cm2:
+        Direct greenhouse-gas emissions per area (kgCO2e/cm2) from
+        process gases (CF4, NF3, ...), partially abated.
+    mpa_kg_per_cm2:
+        Upstream material procurement carbon per area (kgCO2e/cm2):
+        wafers, chemicals, lithography consumables.
+    defect_density_per_cm2:
+        D0 used by the yield model. High-volume mature nodes sit near
+        0.07/cm2; leading-edge nodes start around 0.2/cm2.
+    """
+
+    node_nm: int
+    epa_kwh_per_cm2: float
+    gpa_kg_per_cm2: float
+    mpa_kg_per_cm2: float
+    defect_density_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise ValueError("node_nm must be positive")
+        for f in ("epa_kwh_per_cm2", "gpa_kg_per_cm2",
+                  "mpa_kg_per_cm2", "defect_density_per_cm2"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+
+
+@dataclass(frozen=True)
+class FabLocation:
+    """A semiconductor fab site: the grid intensity powering the tools.
+
+    ``renewable_powered`` marks sites with dedicated renewable PPAs;
+    the DSE experiments use it to show how fab siting moves the optimal
+    design point (§2.1).
+    """
+
+    name: str
+    grid_intensity_g_per_kwh: float
+    renewable_powered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.grid_intensity_g_per_kwh < 0:
+            raise ValueError("grid intensity must be non-negative")
+
+
+#: Technology nodes, leading edge last.  EPA grows toward small nodes
+#: (multi-patterning, then EUV); defect density reflects maturity at the
+#: time the Figure-1 systems were manufactured (2019-2021).
+PROCESS_NODES: Dict[int, ProcessNode] = {
+    p.node_nm: p
+    for p in [
+        ProcessNode(28, epa_kwh_per_cm2=0.72, gpa_kg_per_cm2=0.10,
+                    mpa_kg_per_cm2=0.50, defect_density_per_cm2=0.07),
+        ProcessNode(20, epa_kwh_per_cm2=0.95, gpa_kg_per_cm2=0.12,
+                    mpa_kg_per_cm2=0.50, defect_density_per_cm2=0.08),
+        ProcessNode(16, epa_kwh_per_cm2=1.10, gpa_kg_per_cm2=0.14,
+                    mpa_kg_per_cm2=0.50, defect_density_per_cm2=0.09),
+        ProcessNode(14, epa_kwh_per_cm2=1.20, gpa_kg_per_cm2=0.16,
+                    mpa_kg_per_cm2=0.50, defect_density_per_cm2=0.09),
+        ProcessNode(12, epa_kwh_per_cm2=1.35, gpa_kg_per_cm2=0.16,
+                    mpa_kg_per_cm2=0.55, defect_density_per_cm2=0.10),
+        ProcessNode(10, epa_kwh_per_cm2=1.75, gpa_kg_per_cm2=0.20,
+                    mpa_kg_per_cm2=0.55, defect_density_per_cm2=0.12),
+        ProcessNode(7, epa_kwh_per_cm2=2.15, gpa_kg_per_cm2=0.25,
+                    mpa_kg_per_cm2=0.60, defect_density_per_cm2=0.10),
+        # EUV nodes: wafer energy and early-life defect density jump
+        # steeply (multi-pass EUV, new materials) — the reason the
+        # carbon-optimal node is not always the newest one (§2.1 DSE).
+        ProcessNode(5, epa_kwh_per_cm2=3.80, gpa_kg_per_cm2=0.35,
+                    mpa_kg_per_cm2=0.80, defect_density_per_cm2=0.25),
+        ProcessNode(3, epa_kwh_per_cm2=5.20, gpa_kg_per_cm2=0.40,
+                    mpa_kg_per_cm2=0.90, defect_density_per_cm2=0.35),
+    ]
+}
+
+
+#: Fab sites.  Taiwan/Korea grids are fossil-heavy; "GREEN" models a fab
+#: with a dedicated renewable supply (ACT's low-carbon fab scenario).
+FAB_LOCATIONS: Dict[str, FabLocation] = {
+    f.name: f
+    for f in [
+        FabLocation("TW", grid_intensity_g_per_kwh=560.0),
+        FabLocation("KR", grid_intensity_g_per_kwh=490.0),
+        FabLocation("US", grid_intensity_g_per_kwh=380.0),
+        FabLocation("EU", grid_intensity_g_per_kwh=300.0),
+        FabLocation("JP", grid_intensity_g_per_kwh=470.0),
+        FabLocation("GREEN", grid_intensity_g_per_kwh=30.0, renewable_powered=True),
+    ]
+}
+
+
+def get_process(node_nm: int) -> ProcessNode:
+    """Look up a technology node; raises with the available list if unknown."""
+    try:
+        return PROCESS_NODES[int(node_nm)]
+    except KeyError:
+        avail = ", ".join(str(n) for n in sorted(PROCESS_NODES, reverse=True))
+        raise KeyError(f"unknown process node {node_nm}nm; available: {avail}") from None
+
+
+def get_fab_location(name: str) -> FabLocation:
+    """Look up a fab location by name (case-insensitive)."""
+    try:
+        return FAB_LOCATIONS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown fab location {name!r}; available: {', '.join(sorted(FAB_LOCATIONS))}"
+        ) from None

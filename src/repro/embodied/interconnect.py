@@ -1,0 +1,132 @@
+"""High-performance interconnect embodied carbon: the omitted component.
+
+The paper: "Due to the lack of production carbon-emission reports, we
+omit the embodied carbon footprint contributions from high-performance
+networking interconnects that are integral components within HPC
+systems."  This module quantifies what that omission could amount to —
+a sensitivity analysis, not a claim of ground truth.
+
+A fat-tree interconnect is modeled bottom-up from public die-size facts:
+a NIC/HCA is a ~100-200 mm² 16nm-class SoC plus board; a switch ASIC
+(Tofino/Quantum class) is a ~500-800 mm² die plus a board with heavy
+copper; optics (transceivers) carry a per-port carbon dominated by the
+III-V photonics and packaging.  Three scenario presets (LOW/MID/HIGH)
+bracket the plausible range; the E1-extension bench reports how each
+would shift the Figure-1 shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.embodied.act import FabProcess, logic_die_carbon
+
+__all__ = [
+    "InterconnectScenario",
+    "LOW",
+    "MID",
+    "HIGH",
+    "fat_tree_ports",
+    "interconnect_carbon_kg",
+    "figure1_share_with_network",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectScenario:
+    """Per-part embodied assumptions for one sensitivity scenario."""
+
+    name: str
+    nic_die_mm2: float
+    nic_board_kg: float
+    switch_die_mm2: float
+    switch_board_kg: float
+    switch_radix: int
+    optics_kg_per_port: float
+    node_nm: int = 16
+
+    def __post_init__(self) -> None:
+        if self.nic_die_mm2 <= 0 or self.switch_die_mm2 <= 0:
+            raise ValueError("die areas must be positive")
+        if self.switch_radix < 2:
+            raise ValueError("switch radix must be >= 2")
+        if min(self.nic_board_kg, self.switch_board_kg,
+               self.optics_kg_per_port) < 0:
+            raise ValueError("board/optics carbon must be non-negative")
+
+    def nic_kg(self) -> float:
+        """Embodied carbon of one NIC/HCA (kg)."""
+        die = logic_die_carbon(self.nic_die_mm2,
+                               FabProcess.named(self.node_nm, "TW"))
+        return die + self.nic_board_kg
+
+    def switch_kg(self) -> float:
+        """Embodied carbon of one switch (kg)."""
+        die = logic_die_carbon(self.switch_die_mm2,
+                               FabProcess.named(self.node_nm, "TW"))
+        return die + self.switch_board_kg
+
+
+LOW = InterconnectScenario("low", nic_die_mm2=80.0, nic_board_kg=1.0,
+                           switch_die_mm2=400.0, switch_board_kg=8.0,
+                           switch_radix=64, optics_kg_per_port=0.3)
+MID = InterconnectScenario("mid", nic_die_mm2=150.0, nic_board_kg=2.5,
+                           switch_die_mm2=600.0, switch_board_kg=15.0,
+                           switch_radix=40, optics_kg_per_port=1.0)
+HIGH = InterconnectScenario("high", nic_die_mm2=220.0, nic_board_kg=5.0,
+                            switch_die_mm2=800.0, switch_board_kg=25.0,
+                            switch_radix=36, optics_kg_per_port=2.5)
+
+
+def fat_tree_ports(n_nodes: int, radix: int) -> Dict[str, int]:
+    """Component counts of a (simplified) full-bisection fat tree.
+
+    Classic result: a three-level fat tree of radix-k switches serves up
+    to k³/4 nodes using 5k²/4 switches; we scale the switch count
+    proportionally for partial fills.  Each node has one NIC; optical
+    ports ≈ 3 per node (node uplink + two inter-switch hops).
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    max_nodes = radix ** 3 // 4
+    fill = min(1.0, n_nodes / max_nodes)
+    switches = max(1, round(5 * radix * radix / 4 * fill))
+    return {"nics": n_nodes, "switches": switches,
+            "optic_ports": 3 * n_nodes}
+
+
+def interconnect_carbon_kg(n_nodes: int,
+                           scenario: InterconnectScenario = MID) -> float:
+    """Total embodied carbon of the interconnect for ``n_nodes`` (kg)."""
+    parts = fat_tree_ports(n_nodes, scenario.switch_radix)
+    return (parts["nics"] * scenario.nic_kg()
+            + parts["switches"] * scenario.switch_kg()
+            + parts["optic_ports"] * scenario.optics_kg_per_port)
+
+
+def figure1_share_with_network(system, scenario: InterconnectScenario = MID,
+                               nodes_per_cpu: float = 0.5) -> Dict[str, float]:
+    """Figure-1 shares recomputed with the interconnect included.
+
+    ``nodes_per_cpu`` converts CPU count to node count (dual-socket
+    systems: 0.5).  Returns the share dict including a ``"network"``
+    entry — the sensitivity the paper's omission footnote invites.
+    """
+    from repro.embodied.systems import system_embodied_breakdown
+
+    if nodes_per_cpu <= 0:
+        raise ValueError("nodes_per_cpu must be positive")
+    b = dict(system_embodied_breakdown(system))
+    n_nodes = max(1, round(system.n_cpus * nodes_per_cpu))
+    net = interconnect_carbon_kg(n_nodes, scenario)
+    total = b["total"] + net
+    return {
+        "cpu": b["cpu"] / total,
+        "gpu": b["gpu"] / total,
+        "memory": b["memory"] / total,
+        "storage": b["storage"] / total,
+        "network": net / total,
+    }

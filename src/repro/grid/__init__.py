@@ -1,0 +1,78 @@
+"""Carbon-intensity substrate: traces, zone models, providers, forecasting.
+
+This subpackage stands in for the "grid emissions data provider" the paper
+uses for Figure 2 (averaged daily marginal carbon intensities across
+European regions in January 2023).  Real providers (ElectricityMaps,
+WattTime) need network access and licenses; here an offline generative
+model per zone reproduces the *statistics* the paper reports — monthly
+mean levels, the Finland-vs-France 2.1x ratio, and Finland's daily
+standard deviation of ~47 gCO2/kWh — from a seeded synthetic process.
+
+Public API
+----------
+:class:`CarbonIntensityTrace`
+    NumPy-backed time series of carbon intensity (gCO2e/kWh).
+:class:`ZoneProfile` / :func:`get_zone` / :func:`list_zones`
+    Calibrated European zone models (Jan 2023).
+:class:`SyntheticGridModel`
+    Seeded generative model producing traces for a zone.
+:class:`SyntheticProvider` / :class:`StaticProvider` / :class:`TraceProvider`
+    Provider API used by the scheduler and PowerStack.
+Forecasters
+    :class:`PersistenceForecaster`, :class:`SeasonalNaiveForecaster`,
+    :class:`ExponentialSmoothingForecaster`, :class:`ARForecaster`,
+    :class:`OracleForecaster`.
+Green periods
+    :func:`find_green_periods`, :class:`GreenPeriod`.
+"""
+
+from repro.grid.intensity import CarbonIntensityTrace
+from repro.grid.zones import ZoneProfile, get_zone, list_zones, EUROPE_JAN2023
+from repro.grid.synthetic import SyntheticGridModel, generate_month
+from repro.grid.providers import (
+    CarbonIntensityProvider,
+    StaticProvider,
+    SyntheticProvider,
+    TraceProvider,
+)
+from repro.grid.forecast import (
+    Forecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    ExponentialSmoothingForecaster,
+    ARForecaster,
+    EnsembleForecaster,
+    OracleForecaster,
+    forecast_skill,
+    compare_forecasters,
+)
+from repro.grid.io import read_trace_csv, write_trace_csv
+from repro.grid.green import GreenPeriod, find_green_periods, green_fraction
+
+__all__ = [
+    "CarbonIntensityTrace",
+    "ZoneProfile",
+    "get_zone",
+    "list_zones",
+    "EUROPE_JAN2023",
+    "SyntheticGridModel",
+    "generate_month",
+    "CarbonIntensityProvider",
+    "StaticProvider",
+    "SyntheticProvider",
+    "TraceProvider",
+    "Forecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "ExponentialSmoothingForecaster",
+    "ARForecaster",
+    "EnsembleForecaster",
+    "OracleForecaster",
+    "forecast_skill",
+    "compare_forecasters",
+    "read_trace_csv",
+    "write_trace_csv",
+    "GreenPeriod",
+    "find_green_periods",
+    "green_fraction",
+]

@@ -1,0 +1,157 @@
+"""Seeded generative model for zone carbon-intensity traces.
+
+The model decomposes a month of hourly intensity into three parts::
+
+    CI(d, h) = mean + synoptic(d) + diurnal(h) + noise(d, h)
+
+* ``synoptic(d)`` — a day-scale AR(1) process (weather systems persist for
+  several days).  The 31 draws are *standardized* to exactly zero mean and
+  unit population std, then scaled by the zone's ``daily_sigma``.
+* ``diurnal(h)`` — a fixed double-peak demand curve (morning and evening
+  ramps) with exactly zero mean over the day, scaled by
+  ``diurnal_amplitude``.
+* ``noise(d, h)`` — Gaussian hour-scale noise, de-meaned within each day.
+
+Because the diurnal and noise components have exactly zero daily mean, the
+daily-mean series equals ``mean + daily_sigma * z_d`` with ``z_d``
+standardized — so the generated month reproduces the zone's calibrated
+monthly mean *exactly* and its daily-mean population standard deviation
+*exactly* (Finland: 47.21 gCO2/kWh, the value the paper quotes), while the
+hour-scale structure still looks like real grid data.  This is the
+documented substitution for the grid data provider used in Figure 2.
+
+Everything is driven by :class:`numpy.random.Generator` seeded from an
+explicit integer plus the zone code, so traces are reproducible across
+runs and machines and *different* across zones for the same base seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.grid.intensity import CarbonIntensityTrace
+from repro.grid.zones import ZoneProfile, get_zone
+
+__all__ = ["SyntheticGridModel", "generate_month", "diurnal_pattern"]
+
+
+def _zone_seed_sequence(base_seed: int, zone_code: str) -> np.random.SeedSequence:
+    """Stable per-zone seed: base seed spiced with the zone code bytes.
+
+    ``hash()`` is salted per process, so we derive entropy from the raw
+    code points instead — identical across runs and machines.
+    """
+    return np.random.SeedSequence([int(base_seed)] + [ord(c) for c in zone_code])
+
+
+def diurnal_pattern(samples_per_day: int) -> np.ndarray:
+    """Zero-mean, unit-peak within-day intensity pattern.
+
+    A superposition of a fundamental (24h) and first harmonic (12h)
+    produces the characteristic double peak of fossil-marginal grids:
+    a morning ramp around 08:00 and a stronger evening peak around 19:00,
+    with the trough in the early-morning hours when wind and baseload
+    cover demand.
+    """
+    if samples_per_day < 2:
+        raise ValueError("need at least 2 samples per day")
+    h = np.arange(samples_per_day) * (24.0 / samples_per_day)
+    raw = (0.75 * np.cos(2 * np.pi * (h - 19.0) / 24.0)
+           + 0.45 * np.cos(2 * np.pi * (h - 8.0) / 12.0))
+    raw = raw - raw.mean()  # exact zero daily mean
+    peak = np.abs(raw).max()
+    return raw / peak
+
+
+class SyntheticGridModel:
+    """Generate reproducible carbon-intensity traces for a zone.
+
+    Parameters
+    ----------
+    zone:
+        A :class:`~repro.grid.zones.ZoneProfile` or a zone code string.
+    seed:
+        Base seed. The effective RNG seed also mixes in the zone code, so
+        two zones generated with the same base seed are independent.
+    """
+
+    def __init__(self, zone: ZoneProfile | str, seed: int = 0) -> None:
+        self.zone = get_zone(zone) if isinstance(zone, str) else zone
+        self.seed = int(seed)
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(_zone_seed_sequence(self.seed, self.zone.code))
+
+    def _synoptic(self, rng: np.random.Generator, n_days: int) -> np.ndarray:
+        """Standardized AR(1) day-scale component (zero mean, unit pop. std)."""
+        if n_days < 2:
+            return np.zeros(n_days)
+        rho = self.zone.synoptic_corr
+        eps = rng.standard_normal(n_days)
+        z = np.empty(n_days)
+        z[0] = eps[0]
+        for d in range(1, n_days):
+            z[d] = rho * z[d - 1] + np.sqrt(1 - rho * rho) * eps[d]
+        z -= z.mean()
+        s = z.std()
+        if s < 1e-12:  # pathological draw; fall back to white noise
+            z = rng.standard_normal(n_days)
+            z -= z.mean()
+            s = z.std()
+        return z / s
+
+    def generate(
+        self,
+        n_days: int = 31,
+        step_seconds: float = units.SECONDS_PER_HOUR,
+        start_time: float = 0.0,
+    ) -> CarbonIntensityTrace:
+        """Generate ``n_days`` of intensity data.
+
+        Raises
+        ------
+        ValueError
+            If a day is not an integer number of steps, or if the
+            calibrated parameters would require clipping below the zone
+            floor (which would bias the calibrated statistics).
+        """
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        spd_f = units.SECONDS_PER_DAY / step_seconds
+        spd = int(round(spd_f))
+        if abs(spd - spd_f) > 1e-9 or spd < 2:
+            raise ValueError("step must evenly divide one day with >=2 samples")
+
+        z = self.zone
+        rng = self._rng()
+        daily = z.mean_intensity + z.daily_sigma * self._synoptic(rng, n_days)
+        diurnal = z.diurnal_amplitude * diurnal_pattern(spd)
+        noise = z.noise_sigma * rng.standard_normal((n_days, spd))
+        noise -= noise.mean(axis=1, keepdims=True)  # exact zero daily mean
+
+        grid = daily[:, None] + diurnal[None, :] + noise
+        lo = grid.min()
+        if lo < z.floor_intensity:
+            raise ValueError(
+                f"zone {z.code}: generated intensity {lo:.1f} fell below the "
+                f"floor {z.floor_intensity}; the profile parameters are "
+                f"mis-calibrated (clipping would bias mean/sigma)")
+        return CarbonIntensityTrace(grid.reshape(-1), step_seconds,
+                                    start_time, z.code)
+
+
+def generate_month(
+    zone: ZoneProfile | str,
+    seed: int = 0,
+    n_days: int = 31,
+    step_seconds: float = units.SECONDS_PER_HOUR,
+    start_time: float = 0.0,
+) -> CarbonIntensityTrace:
+    """Convenience wrapper: one January-like month for ``zone``.
+
+    ``generate_month("FI", seed=0).daily_means().std()`` reproduces the
+    paper's 47.21 gCO2/kWh exactly (population std), and the ratio of the
+    FI and FR monthly means is exactly 2.1 for any seed.
+    """
+    return SyntheticGridModel(zone, seed).generate(n_days, step_seconds, start_time)

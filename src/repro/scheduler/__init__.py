@@ -1,0 +1,61 @@
+"""RJMS: batch scheduler, baselines, and carbon-aware plugins (§3.3).
+
+The paper calls for "intelligent carbon-aware scheduling plugins for
+common resource and job management software (RJMS), such as Flux or
+SLURM".  This subpackage provides the host RJMS and the plugins:
+
+* :mod:`repro.scheduler.rjms` — the scheduler core driving the
+  discrete-event simulator (arrivals, scheduling passes, completions,
+  per-job energy/carbon accounting);
+* :mod:`repro.scheduler.queues` — multi-queue configuration (§3.4);
+* :mod:`repro.scheduler.fcfs` / :mod:`repro.scheduler.backfill` — FCFS
+  and EASY-backfill baselines;
+* :mod:`repro.scheduler.carbon_backfill` — green-period-aware backfill
+  with bounded delay (no starvation);
+* :mod:`repro.scheduler.carbon_checkpoint` — carbon-aware
+  suspend/resume of long-running jobs;
+* :mod:`repro.scheduler.malleable` — §3.2 malleability manager
+  co-orchestrating node counts with the power budget.
+"""
+
+from repro.scheduler.rjms import (
+    RJMS,
+    SchedulerPolicy,
+    SchedulingContext,
+    StartDecision,
+    SimulationResult,
+)
+from repro.scheduler.queues import QueueConfig, QueueSet, DEFAULT_QUEUES
+from repro.scheduler.fcfs import FCFSPolicy
+from repro.scheduler.backfill import (EasyBackfillPolicy,
+                                      MoldableEasyBackfillPolicy)
+from repro.scheduler.carbon_backfill import CarbonBackfillPolicy
+from repro.scheduler.carbon_checkpoint import CarbonCheckpointPolicy
+from repro.scheduler.malleable import MalleabilityManager
+from repro.scheduler.federation import (
+    FederationResult,
+    Site,
+    route_jobs,
+    run_federation,
+)
+
+__all__ = [
+    "RJMS",
+    "SchedulerPolicy",
+    "SchedulingContext",
+    "StartDecision",
+    "SimulationResult",
+    "QueueConfig",
+    "QueueSet",
+    "DEFAULT_QUEUES",
+    "FCFSPolicy",
+    "EasyBackfillPolicy",
+    "MoldableEasyBackfillPolicy",
+    "CarbonBackfillPolicy",
+    "CarbonCheckpointPolicy",
+    "MalleabilityManager",
+    "Site",
+    "FederationResult",
+    "route_jobs",
+    "run_federation",
+]

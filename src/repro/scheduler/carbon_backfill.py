@@ -1,0 +1,154 @@
+"""Carbon-aware backfill plugin (§3.3).
+
+"Combined with forecasting techniques that leverage historical carbon
+intensity data, these plugins can intelligently backfill submitted jobs
+with suitable execution times during green periods."
+
+The policy wraps EASY backfill with a *carbon gate*: a job that could
+start now is **held** if (a) the present moment is carbon-expensive
+relative to the forecast over the job's feasible start window, and
+(b) holding it cannot push it past its delay bound.  Concretely, for
+each startable job the policy compares the forecast mean intensity over
+``[now, now + runtime]`` against the best achievable mean over start
+times within the slack window; it holds the job when starting later
+saves at least ``min_saving_fraction``.
+
+Starvation safety: a job whose accumulated wait exceeds ``max_delay_s``
+bypasses the gate unconditionally, so the policy degrades to plain EASY
+under persistent red skies.  The head job's reservation logic is
+untouched — holding is only ever applied to jobs that would *start*,
+never to the backfill-window computation, so held capacity is available
+to later non-held jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.grid.forecast import Forecaster, SeasonalNaiveForecaster
+from repro.scheduler.backfill import EasyBackfillPolicy
+from repro.scheduler.rjms import SchedulerPolicy, SchedulingContext, StartDecision
+from repro.simulator.jobs import Job
+
+__all__ = ["CarbonBackfillPolicy"]
+
+
+class CarbonBackfillPolicy(SchedulerPolicy):
+    """EASY backfill with a forecast-driven green-period gate.
+
+    Parameters
+    ----------
+    forecaster:
+        Any :class:`~repro.grid.forecast.Forecaster`; fit on trailing
+        history each pass. Defaults to seasonal-naive (the strong cheap
+        baseline). Pass an oracle for the upper bound ablation.
+    max_delay_s:
+        Hard bound on added queue delay per job (default 12 h).
+    min_saving_fraction:
+        Hold a job only if the forecast promises at least this relative
+        carbon saving (default 5%) — avoids churn on flat signals.
+    history_s:
+        Length of trailing history used to fit the forecaster.
+    min_job_seconds:
+        Jobs shorter than this are never held (they cannot exploit a
+        green window; churn costs more than it saves).
+    """
+
+    def __init__(self, forecaster: Optional[Forecaster] = None,
+                 max_delay_s: float = 12 * 3600.0,
+                 min_saving_fraction: float = 0.05,
+                 history_s: float = 7 * 86400.0,
+                 min_job_seconds: float = 900.0) -> None:
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        if not 0.0 <= min_saving_fraction < 1.0:
+            raise ValueError("min_saving_fraction must be in [0, 1)")
+        if history_s <= 0:
+            raise ValueError("history_s must be positive")
+        self.forecaster = forecaster or SeasonalNaiveForecaster()
+        self.max_delay_s = float(max_delay_s)
+        self.min_saving_fraction = float(min_saving_fraction)
+        self.history_s = float(history_s)
+        self.min_job_seconds = float(min_job_seconds)
+        self._inner = EasyBackfillPolicy()
+
+    # -- carbon gate -----------------------------------------------------------
+
+    def _forecast(self, ctx: SchedulingContext, horizon_s: float):
+        """Forecast trace covering [now, now + horizon]; None if infeasible."""
+        t0 = max(0.0, ctx.now - self.history_s)
+        if ctx.now - t0 < 2 * 3600.0:
+            return None  # not enough history to say anything
+        try:
+            history = ctx.provider.history(t0, ctx.now)
+        except ValueError:
+            return None
+        self.forecaster.fit(history)
+        steps = int(np.ceil(horizon_s / history.step_seconds)) + 1
+        return self.forecaster.predict(max(1, steps))
+
+    def _should_hold(self, ctx: SchedulingContext, job: Job) -> bool:
+        """True when delaying this job promises enough carbon savings."""
+        waited = ctx.now - job.submit_time
+        slack = self.max_delay_s - waited
+        if slack <= 0:
+            return False  # starvation guard: start it
+        runtime = min(job.runtime_estimate, job.work_seconds * 2)
+        if runtime < self.min_job_seconds:
+            return False
+        forecast = self._forecast(ctx, slack + runtime)
+        if forecast is None:
+            return False
+        # mean CI if started now vs best start within the slack window
+        now_mean = forecast.mean_over(forecast.start_time,
+                                      forecast.start_time + runtime)
+        step = forecast.step_seconds
+        n_starts = int(slack // step)
+        best = now_mean
+        for k in range(1, n_starts + 1):
+            s = forecast.start_time + k * step
+            e = min(s + runtime, forecast.end_time)
+            if e <= s:
+                break
+            m = forecast.mean_over(s, e)
+            if m < best:
+                best = m
+        if now_mean <= 0:
+            return False
+        return (now_mean - best) / now_mean >= self.min_saving_fraction
+
+    # -- policy ------------------------------------------------------------------
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        base = self._inner.schedule(ctx)
+        if not base:
+            return base
+        held_ids = set()
+        out: List[StartDecision] = []
+        for d in base:
+            if d.job.job_id not in held_ids and self._should_hold(ctx, d.job):
+                held_ids.add(d.job.job_id)
+                continue
+            out.append(d)
+        if len(out) == len(base):
+            return out
+        # Holding freed nodes: rerun the inner policy on the reduced
+        # queue so non-held jobs may use the capacity (single fixpoint
+        # iteration; holding decisions are sticky within this pass).
+        reduced = SchedulingContext(
+            now=ctx.now,
+            pending=[j for j in ctx.pending if j.job_id not in held_ids],
+            cluster=ctx.cluster,
+            provider=ctx.provider,
+            running=ctx.running,
+            expected_end=ctx.expected_end,
+        )
+        out2 = self._inner.schedule(reduced)
+        final: List[StartDecision] = []
+        for d in out2:
+            if self._should_hold(ctx, d.job):
+                continue
+            final.append(d)
+        return final

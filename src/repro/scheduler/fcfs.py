@@ -1,0 +1,30 @@
+"""First-come-first-served scheduling — the strictest baseline.
+
+Jobs start strictly in queue order; the first job that does not fit
+blocks everything behind it.  Wasteful (nodes drain while a wide job
+waits) but simple and starvation-free; the floor every backfill variant
+is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scheduler.rjms import SchedulerPolicy, SchedulingContext, StartDecision
+
+__all__ = ["FCFSPolicy"]
+
+
+class FCFSPolicy(SchedulerPolicy):
+    """Strict in-order scheduling."""
+
+    def schedule(self, ctx: SchedulingContext) -> List[StartDecision]:
+        decisions: List[StartDecision] = []
+        free = ctx.cluster.n_free
+        for job in ctx.pending:
+            if job.nodes_requested <= free:
+                decisions.append(StartDecision(job, job.nodes_requested))
+                free -= job.nodes_requested
+            else:
+                break  # strict FCFS: nothing may overtake the head job
+        return decisions

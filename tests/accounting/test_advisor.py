@@ -1,0 +1,114 @@
+"""Tests for the allocation advisor (§3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accounting.advisor import (
+    estimate_parallel_fraction,
+    recommend_allocation,
+)
+from repro.simulator import ComponentPowerModel, NodePowerModel, SpeedupModel
+
+PM = NodePowerModel(cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2)
+HOUR = 3600.0
+
+
+class TestRecommendAllocation:
+    def test_efficiency_objective_respects_floor(self):
+        advice = recommend_allocation(100 * HOUR, SpeedupModel(0.95), PM,
+                                      max_nodes=64,
+                                      objective="efficiency",
+                                      min_efficiency=0.7)
+        s = SpeedupModel(0.95)
+        assert s.efficiency(advice.recommended_nodes) >= 0.7
+        # and it is the *largest* such allocation
+        if advice.recommended_nodes < 64:
+            assert s.efficiency(advice.recommended_nodes + 1) < 0.7
+
+    def test_perfect_scaling_goes_wide(self):
+        advice = recommend_allocation(100 * HOUR, SpeedupModel(1.0), PM,
+                                      max_nodes=64,
+                                      objective="efficiency")
+        assert advice.recommended_nodes == 64
+
+    def test_serial_job_gets_one_node(self):
+        advice = recommend_allocation(10 * HOUR, SpeedupModel(0.0), PM,
+                                      max_nodes=64,
+                                      objective="efficiency")
+        assert advice.recommended_nodes == 1
+
+    def test_energy_objective_is_minimal_allocation(self):
+        """Amdahl + linear power: fewer nodes always burn less energy —
+        the advisor must find n=1 when no deadline constrains it."""
+        advice = recommend_allocation(100 * HOUR, SpeedupModel(0.98), PM,
+                                      max_nodes=64, objective="energy")
+        assert advice.recommended_nodes == 1
+
+    def test_deadline_objective_smallest_feasible(self):
+        # perfect scaling: 100h on 1 node, deadline 10h -> 10 nodes
+        advice = recommend_allocation(100 * HOUR, SpeedupModel(1.0), PM,
+                                      max_nodes=64, objective="deadline",
+                                      deadline_s=10 * HOUR)
+        assert advice.recommended_nodes == 10
+        assert advice.runtime_s <= 10 * HOUR + 1e-6
+
+    def test_impossible_deadline_best_effort(self):
+        advice = recommend_allocation(100 * HOUR, SpeedupModel(0.5), PM,
+                                      max_nodes=64, objective="deadline",
+                                      deadline_s=HOUR)
+        assert advice.recommended_nodes == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_allocation(0.0, SpeedupModel(), PM, 8)
+        with pytest.raises(ValueError):
+            recommend_allocation(1.0, SpeedupModel(), PM, 0)
+        with pytest.raises(ValueError, match="objective"):
+            recommend_allocation(1.0, SpeedupModel(), PM, 8,
+                                 objective="vibes")
+        with pytest.raises(ValueError, match="deadline"):
+            recommend_allocation(1.0, SpeedupModel(), PM, 8,
+                                 objective="deadline")
+
+    def test_advice_consistency(self):
+        advice = recommend_allocation(50 * HOUR, SpeedupModel(0.9), PM,
+                                      max_nodes=32,
+                                      objective="efficiency")
+        s = SpeedupModel(0.9)
+        assert advice.runtime_s == pytest.approx(
+            50 * HOUR / s.speedup(advice.recommended_nodes))
+        assert advice.efficiency == pytest.approx(
+            s.efficiency(advice.recommended_nodes))
+
+
+class TestEstimateParallelFraction:
+    def test_perfect_scaling_recovered(self):
+        # t ∝ 1/n
+        assert estimate_parallel_fraction(2, 50.0, 8, 12.5) == \
+            pytest.approx(1.0)
+
+    def test_serial_recovered(self):
+        assert estimate_parallel_fraction(2, 50.0, 8, 50.0) == \
+            pytest.approx(0.0)
+
+    @given(p=st.floats(0.0, 1.0), n1=st.integers(1, 64),
+           n2=st.integers(1, 64))
+    def test_roundtrip(self, p, n1, n2):
+        """Generating runtimes from Amdahl and inverting recovers p."""
+        if n1 == n2:
+            return
+        s = SpeedupModel(p)
+        t1 = 1000.0 / s.speedup(n1)
+        t2 = 1000.0 / s.speedup(n2)
+        est = estimate_parallel_fraction(n1, t1, n2, t2)
+        assert est == pytest.approx(p, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_parallel_fraction(4, 10.0, 4, 5.0)
+        with pytest.raises(ValueError):
+            estimate_parallel_fraction(2, 0.0, 4, 5.0)
+
+    def test_superlinear_clamps_to_one(self):
+        # better than perfect scaling (cache effects): clamp at 1
+        assert estimate_parallel_fraction(2, 100.0, 8, 10.0) == 1.0

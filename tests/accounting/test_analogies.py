@@ -1,0 +1,52 @@
+"""Tests for carbon analogies (§3.4)."""
+
+import pytest
+
+from repro.accounting import (
+    car_km_equivalent,
+    describe,
+    flight_km_equivalent,
+    smartphone_charges_equivalent,
+    tree_years_equivalent,
+)
+
+
+class TestEquivalents:
+    def test_car_km(self):
+        # 120 g/km -> 12 kg = 100 km
+        assert car_km_equivalent(12_000.0) == pytest.approx(100.0)
+
+    def test_flight_km(self):
+        assert flight_km_equivalent(150_000.0) == pytest.approx(1000.0)
+
+    def test_tree_years(self):
+        assert tree_years_equivalent(21_000.0) == pytest.approx(1.0)
+
+    def test_smartphone(self):
+        assert smartphone_charges_equivalent(80.0) == pytest.approx(10.0)
+
+    def test_zero(self):
+        assert car_km_equivalent(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        for fn in (car_km_equivalent, flight_km_equivalent,
+                   tree_years_equivalent, smartphone_charges_equivalent):
+            with pytest.raises(ValueError):
+                fn(-1.0)
+
+
+class TestDescribe:
+    def test_mentions_driving(self):
+        s = describe(100_000.0)
+        assert "driving" in s
+        assert "tree-years" in s
+
+    def test_reference_trip_for_big_jobs(self):
+        """The paper's example: equate to driving between two regions."""
+        # 780 km Munich->Hamburg at 120 g/km = 93.6 kg
+        s = describe(95_000.0)
+        assert "Munich" in s and "Hamburg" in s
+
+    def test_small_job_no_trip(self):
+        s = describe(100.0)  # < 1 km
+        assert "->" not in s

@@ -1,0 +1,73 @@
+"""Tests for core-hour accounting."""
+
+import pytest
+
+from repro.accounting import CoreHourLedger, ProjectAccount
+from repro.accounting.corehours import ChargeRecord
+
+
+class TestProjectAccount:
+    def test_charge_tracks(self):
+        a = ProjectAccount("p", 1000.0)
+        a.charge(300.0)
+        assert a.remaining_core_hours == 700.0
+
+    def test_exhaustion_blocks(self):
+        a = ProjectAccount("p", 100.0)
+        with pytest.raises(ValueError, match="exceeds remaining"):
+            a.charge(101.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ProjectAccount("p", 100.0).charge(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProjectAccount("p", -1.0)
+        with pytest.raises(ValueError):
+            ProjectAccount("p", 10.0, used_core_hours=11.0)
+
+
+class TestChargeRecord:
+    def test_discount(self):
+        r = ChargeRecord(1, "p", 100.0, 80.0, 0.5)
+        assert r.discount_core_hours == pytest.approx(20.0)
+
+    def test_billed_cannot_exceed_raw(self):
+        with pytest.raises(ValueError):
+            ChargeRecord(1, "p", 100.0, 110.0, 0.0)
+
+
+class TestLedger:
+    def test_core_hours_of(self):
+        ledger = CoreHourLedger(cores_per_node=48)
+        # 4 nodes x 48 cores x 2 h
+        assert ledger.core_hours_of(4, 7200.0) == pytest.approx(384.0)
+
+    def test_charge_flow(self):
+        ledger = CoreHourLedger()
+        ledger.open_project("climate", 10_000.0)
+        rec = ledger.charge_job(1, "climate", raw_core_hours=100.0,
+                                billed_core_hours=70.0,
+                                green_fraction=0.6)
+        assert ledger.accounts["climate"].used_core_hours == 70.0
+        assert ledger.project_usage("climate") == 70.0
+        assert ledger.total_discounts() == pytest.approx(30.0)
+        assert rec.green_fraction == 0.6
+
+    def test_unknown_project(self):
+        ledger = CoreHourLedger()
+        with pytest.raises(KeyError, match="open it first"):
+            ledger.charge_job(1, "nope", 10.0)
+
+    def test_duplicate_project(self):
+        ledger = CoreHourLedger()
+        ledger.open_project("p", 1.0)
+        with pytest.raises(ValueError):
+            ledger.open_project("p", 1.0)
+
+    def test_billed_defaults_to_raw(self):
+        ledger = CoreHourLedger()
+        ledger.open_project("p", 100.0)
+        rec = ledger.charge_job(1, "p", 40.0)
+        assert rec.billed_core_hours == 40.0

@@ -1,0 +1,95 @@
+"""Tests for green-period incentive billing (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting import GreenDiscountPolicy, charge_with_incentive
+from repro.grid import CarbonIntensityTrace
+
+HOUR = 3600.0
+
+
+def trace(values):
+    return CarbonIntensityTrace(np.asarray(values, dtype=float), HOUR)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreenDiscountPolicy(green_rate=1.5)
+        with pytest.raises(ValueError):
+            GreenDiscountPolicy(threshold_fraction=0.0)
+
+
+class TestCharging:
+    def test_fully_green_job_half_price(self):
+        # mean 200; hours 1-2 (100) are green at threshold 0.9 -> 180
+        t = trace([300, 100, 100, 300])
+        result = charge_with_incentive(
+            [(HOUR, 3 * HOUR)], n_nodes=2, cores_per_node=10,
+            intensity=t, policy=GreenDiscountPolicy(green_rate=0.5))
+        # 2 nodes * 10 cores * 2 h = 40 raw, all green -> 20 billed
+        assert result.raw_core_hours == pytest.approx(40.0)
+        assert result.green_fraction == pytest.approx(1.0)
+        assert result.billed_core_hours == pytest.approx(20.0)
+
+    def test_fully_red_job_full_price(self):
+        t = trace([300, 100, 100, 300])
+        result = charge_with_incentive(
+            [(0.0, HOUR)], 2, 10, t, GreenDiscountPolicy(green_rate=0.5))
+        assert result.green_fraction == 0.0
+        assert result.billed_core_hours == result.raw_core_hours
+
+    def test_partial_overlap(self):
+        t = trace([300, 100, 100, 300])
+        result = charge_with_incentive(
+            [(0.0, 2 * HOUR)], 1, 10, t, GreenDiscountPolicy(green_rate=0.0))
+        # 1h red + 1h green (free)
+        assert result.green_fraction == pytest.approx(0.5)
+        assert result.billed_core_hours == pytest.approx(10.0)
+
+    def test_split_run_intervals(self):
+        """Suspend/resume (§3.3) yields multiple intervals — the synergy
+        the paper mentions: the job pauses through red, so more of its
+        runtime lands in green windows."""
+        t = trace([300, 100, 300, 100])
+        result = charge_with_incentive(
+            [(HOUR, 2 * HOUR), (3 * HOUR, 4 * HOUR)], 1, 10, t,
+            GreenDiscountPolicy(green_rate=0.5))
+        assert result.green_fraction == pytest.approx(1.0)
+        assert result.billed_core_hours == pytest.approx(
+            result.raw_core_hours / 2)
+
+    def test_zero_rate_makes_green_free(self):
+        t = trace([300, 100])
+        result = charge_with_incentive(
+            [(HOUR, 2 * HOUR)], 1, 1, t, GreenDiscountPolicy(green_rate=0.0))
+        assert result.billed_core_hours == 0.0
+        assert result.discount_core_hours == result.raw_core_hours
+
+    def test_rate_one_is_no_incentive(self):
+        t = trace([300, 100])
+        result = charge_with_incentive(
+            [(0.0, 2 * HOUR)], 1, 1, t, GreenDiscountPolicy(green_rate=1.0))
+        assert result.billed_core_hours == result.raw_core_hours
+
+    def test_explicit_reference(self):
+        t = trace([100, 100])
+        # flat trace has no green periods vs its own mean, but is green
+        # vs the monthly reference of 200
+        none = charge_with_incentive([(0.0, HOUR)], 1, 1, t,
+                                     GreenDiscountPolicy())
+        assert none.green_fraction == 0.0
+        monthly = charge_with_incentive([(0.0, HOUR)], 1, 1, t,
+                                        GreenDiscountPolicy(),
+                                        reference=200.0)
+        assert monthly.green_fraction == pytest.approx(1.0)
+
+    def test_validation(self):
+        t = trace([100])
+        with pytest.raises(ValueError):
+            charge_with_incentive([(HOUR, HOUR)], 1, 1, t,
+                                  GreenDiscountPolicy())
+        with pytest.raises(ValueError):
+            charge_with_incentive([(0.0, HOUR)], 0, 1, t,
+                                  GreenDiscountPolicy())

@@ -1,0 +1,52 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid import CarbonIntensityTrace, SyntheticProvider
+from repro.simulator import (
+    Cluster,
+    ComponentPowerModel,
+    NodePowerModel,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+@pytest.fixture
+def node_power_model() -> NodePowerModel:
+    """A dual-socket CPU node: 170 W idle, 575 W peak."""
+    return NodePowerModel(cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2)
+
+
+@pytest.fixture
+def gpu_node_power_model() -> NodePowerModel:
+    """A GPU node: 2 CPUs + 4 GPUs."""
+    return NodePowerModel(
+        cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2,
+        gpus=(ComponentPowerModel("gpu", 60.0, 400.0),) * 4,
+    )
+
+
+@pytest.fixture
+def small_cluster(node_power_model) -> Cluster:
+    return Cluster(8, node_power_model)
+
+
+@pytest.fixture
+def de_provider() -> SyntheticProvider:
+    return SyntheticProvider("DE", seed=7)
+
+
+@pytest.fixture
+def flat_trace() -> CarbonIntensityTrace:
+    return CarbonIntensityTrace.constant(300.0, 86400.0 * 3)
+
+
+@pytest.fixture
+def small_workload():
+    cfg = WorkloadConfig(n_jobs=30, mean_interarrival_s=1200.0,
+                         max_nodes_log2=3,
+                         runtime_median_s=2 * 3600.0)
+    return WorkloadGenerator(cfg, seed=11).generate()

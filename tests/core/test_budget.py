@@ -1,0 +1,98 @@
+"""Tests for carbon budgets and the embodied<->operational shift (§2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CarbonBudget,
+    operational_headroom_watts,
+    split_total_budget,
+)
+
+
+class TestCarbonBudget:
+    def test_spend_tracks(self):
+        b = CarbonBudget(100.0)
+        b.spend(30.0)
+        assert b.remaining_kg == 70.0
+        assert b.utilization == pytest.approx(0.3)
+
+    def test_overspend_raises(self):
+        b = CarbonBudget(100.0)
+        with pytest.raises(ValueError, match="overspend"):
+            b.spend(101.0)
+
+    def test_negative_spend_raises(self):
+        with pytest.raises(ValueError):
+            CarbonBudget(100.0).spend(-1.0)
+
+    def test_exact_spend_allowed(self):
+        b = CarbonBudget(100.0)
+        b.spend(100.0)
+        assert b.remaining_kg == 0.0
+
+    def test_transfer_shifts_allowance(self):
+        """The §2.2 shift: unused embodied budget boosts operational."""
+        emb = CarbonBudget(100.0, spent_kg=60.0)
+        op = CarbonBudget(200.0)
+        emb.transfer_to(op, 40.0)
+        assert emb.total_kg == 60.0
+        assert emb.remaining_kg == 0.0
+        assert op.total_kg == 240.0
+
+    def test_transfer_beyond_unspent_raises(self):
+        emb = CarbonBudget(100.0, spent_kg=60.0)
+        op = CarbonBudget(0.0)
+        with pytest.raises(ValueError):
+            emb.transfer_to(op, 50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarbonBudget(-1.0)
+        with pytest.raises(ValueError):
+            CarbonBudget(10.0, spent_kg=11.0)
+
+    @given(total=st.floats(0.1, 1e6), frac=st.floats(0, 1))
+    def test_conservation_under_transfer(self, total, frac):
+        split = split_total_budget(total, 0.5)
+        before = split.total_kg
+        amount = frac * split.embodied.remaining_kg
+        split.embodied.transfer_to(split.operational, amount)
+        assert split.total_kg == pytest.approx(before, rel=1e-9)
+
+
+class TestSplit:
+    def test_split_fractions(self):
+        s = split_total_budget(1000.0, 0.3)
+        assert s.embodied.total_kg == pytest.approx(300.0)
+        assert s.operational.total_kg == pytest.approx(700.0)
+        assert s.total_kg == pytest.approx(1000.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            split_total_budget(100.0, 1.1)
+
+
+class TestHeadroom:
+    def test_closed_form(self):
+        """1000 kg at 200 g/kWh = 5000 kWh; over 1000 h = 5 kW."""
+        w = operational_headroom_watts(1000.0, 200.0, 1000.0)
+        assert w == pytest.approx(5000.0)
+
+    def test_zero_leftover_zero_boost(self):
+        assert operational_headroom_watts(0.0, 200.0, 100.0) == 0.0
+
+    def test_greener_grid_buys_more_watts(self):
+        """At a low-carbon site, the same leftover budget buys a larger
+        power boost — the §2.2 trade-off depends on siting."""
+        low = operational_headroom_watts(100.0, 50.0, 100.0)
+        high = operational_headroom_watts(100.0, 500.0, 100.0)
+        assert low == pytest.approx(10 * high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            operational_headroom_watts(-1.0, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            operational_headroom_watts(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            operational_headroom_watts(1.0, 100.0, 0.0)

@@ -1,0 +1,67 @@
+"""Tests for the carbon-efficiency metrics (§2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import cadp, carbon_efficiency, carbon_per_unit_work, cdp, cep, edp
+
+
+class TestProducts:
+    def test_cdp(self):
+        assert cdp(10.0, 5.0) == 50.0
+
+    def test_cep(self):
+        assert cep(10.0, 2.0) == 20.0
+
+    def test_cadp(self):
+        assert cadp(2.0, 100.0, 3.0) == 600.0
+
+    def test_edp(self):
+        assert edp(4.0, 2.0) == 8.0
+
+    def test_vectorized(self):
+        out = cdp(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(out, [3.0, 8.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cdp(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            cep(1.0, -1.0)
+        with pytest.raises(ValueError):
+            cadp(1.0, -1.0, 1.0)
+
+    @given(c=st.floats(0, 1e6), d=st.floats(0, 1e6))
+    def test_cdp_symmetric_in_scaling(self, c, d):
+        assert cdp(2 * c, d) == pytest.approx(cdp(c, 2 * d), rel=1e-9)
+
+
+class TestRatios:
+    def test_carbon_per_unit_work(self):
+        assert carbon_per_unit_work(100.0, 50.0) == 2.0
+
+    def test_carbon_efficiency_is_inverse(self):
+        c, w = 123.0, 456.0
+        assert carbon_efficiency(w, c) == pytest.approx(
+            1.0 / carbon_per_unit_work(c, w))
+
+    def test_rejects_zero_denominators(self):
+        with pytest.raises(ValueError):
+            carbon_per_unit_work(1.0, 0.0)
+        with pytest.raises(ValueError):
+            carbon_efficiency(1.0, 0.0)
+
+
+class TestMetricDisagreement:
+    """§2.1: the optimal design point changes with the metric — a toy
+    two-design example where CDP and CEP pick different winners."""
+
+    def test_cdp_cep_disagree(self):
+        # design A: fast but carbon-hungry; design B: slow but lean
+        a = {"carbon": 10.0, "delay": 1.0, "energy": 8.0}
+        b = {"carbon": 4.0, "delay": 3.0, "energy": 1.5}
+        cdp_a, cdp_b = cdp(a["carbon"], a["delay"]), cdp(b["carbon"], b["delay"])
+        cep_a, cep_b = cep(a["carbon"], a["energy"]), cep(b["carbon"], b["energy"])
+        assert cdp_a < cdp_b   # CDP prefers the fast design
+        assert cep_b < cep_a   # CEP prefers the lean design

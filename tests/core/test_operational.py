@@ -1,0 +1,126 @@
+"""Tests for the operational carbon integral and PowerTrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PowerTrace, operational_carbon, operational_carbon_constant
+from repro.core.operational import energy_kwh_of_trace
+from repro.grid import CarbonIntensityTrace
+
+HOUR = 3600.0
+
+
+class TestPowerTrace:
+    def test_basic(self):
+        p = PowerTrace(np.array([1000.0, 2000.0]), HOUR)
+        assert len(p) == 2
+        assert p.energy_kwh() == pytest.approx(3.0)
+        assert p.mean_power() == 1500.0
+        assert p.peak_power() == 2000.0
+
+    def test_immutable(self):
+        p = PowerTrace(np.array([1.0]), HOUR)
+        with pytest.raises(ValueError):
+            p.values[0] = 5.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerTrace(np.array([-1.0]), HOUR)
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(ValueError):
+            PowerTrace(np.array([]), HOUR)
+        with pytest.raises(ValueError):
+            PowerTrace(np.array([np.nan]), HOUR)
+
+    def test_constant(self):
+        p = PowerTrace.constant(500.0, 2 * HOUR)
+        assert p.energy_kwh() == pytest.approx(1.0)
+
+    def test_times(self):
+        p = PowerTrace(np.array([1.0, 2.0]), HOUR, start_time=10.0)
+        np.testing.assert_allclose(p.times, [10.0, 10.0 + HOUR])
+
+
+class TestEnergyWindow:
+    def test_full_window(self):
+        p = PowerTrace(np.array([1000.0, 3000.0]), HOUR)
+        assert energy_kwh_of_trace(p, 0, 2 * HOUR) == pytest.approx(4.0)
+
+    def test_partial_bins(self):
+        p = PowerTrace(np.array([1000.0, 3000.0]), HOUR)
+        assert energy_kwh_of_trace(p, 0.5 * HOUR, 1.5 * HOUR) == \
+            pytest.approx(0.5 + 1.5)
+
+    def test_outside_trace_is_zero(self):
+        p = PowerTrace(np.array([1000.0]), HOUR)
+        assert energy_kwh_of_trace(p, 5 * HOUR, 6 * HOUR) == 0.0
+
+    def test_empty_interval(self):
+        p = PowerTrace(np.array([1000.0]), HOUR)
+        assert energy_kwh_of_trace(p, HOUR, HOUR) == 0.0
+
+
+class TestOperationalCarbon:
+    def test_constant_times_constant(self):
+        """1 kW for 2 h at 300 g/kWh = 600 g."""
+        p = PowerTrace.constant(1000.0, 2 * HOUR)
+        ci = CarbonIntensityTrace.constant(300.0, 2 * HOUR)
+        assert operational_carbon(p, ci) == pytest.approx(600.0)
+
+    def test_paper_definition_integral(self):
+        """§3.1: operational carbon is the time integral of CI x P."""
+        p = PowerTrace(np.array([1000.0, 2000.0]), HOUR)
+        ci = CarbonIntensityTrace(np.array([100.0, 400.0]), HOUR)
+        # hour 1: 1 kWh * 100 g; hour 2: 2 kWh * 400 g
+        assert operational_carbon(p, ci) == pytest.approx(100.0 + 800.0)
+
+    def test_mismatched_steps_exact(self):
+        p = PowerTrace(np.array([1000.0] * 4), 0.5 * HOUR)
+        ci = CarbonIntensityTrace(np.array([100.0, 300.0]), HOUR)
+        assert operational_carbon(p, ci) == pytest.approx(
+            1.0 * 100.0 + 1.0 * 300.0)
+
+    def test_phase_offset_exact(self):
+        p = PowerTrace(np.array([2000.0]), HOUR, start_time=0.5 * HOUR)
+        ci = CarbonIntensityTrace(np.array([100.0, 300.0]), HOUR)
+        # half an hour in each CI bin at 2 kW
+        assert operational_carbon(p, ci) == pytest.approx(
+            1.0 * 100.0 + 1.0 * 300.0)
+
+    def test_window_restriction(self):
+        p = PowerTrace.constant(1000.0, 4 * HOUR)
+        ci = CarbonIntensityTrace.constant(100.0, 4 * HOUR)
+        assert operational_carbon(p, ci, t0=HOUR, t1=2 * HOUR) == \
+            pytest.approx(100.0)
+
+    def test_empty_window(self):
+        p = PowerTrace.constant(1000.0, HOUR)
+        ci = CarbonIntensityTrace.constant(100.0, HOUR)
+        assert operational_carbon(p, ci, t0=HOUR, t1=HOUR) == 0.0
+
+    def test_constant_helper_matches(self):
+        ci = CarbonIntensityTrace(np.array([100.0, 300.0]), HOUR)
+        full = operational_carbon(PowerTrace.constant(1500.0, 2 * HOUR), ci)
+        fast = operational_carbon_constant(1500.0, ci, 0, 2 * HOUR)
+        assert full == pytest.approx(fast)
+
+    @given(watts=st.floats(0, 1e6), ci_val=st.floats(0, 2000),
+           hours=st.integers(1, 72))
+    @settings(max_examples=50)
+    def test_matches_closed_form_for_constants(self, watts, ci_val, hours):
+        p = PowerTrace.constant(watts, hours * HOUR)
+        ci = CarbonIntensityTrace.constant(ci_val, hours * HOUR)
+        expected = watts / 1000.0 * hours * ci_val
+        assert operational_carbon(p, ci) == pytest.approx(
+            expected, rel=1e-9, abs=1e-6)
+
+    @given(vals=st.lists(st.floats(0, 5000), min_size=1, max_size=24))
+    @settings(max_examples=50)
+    def test_linearity_in_power(self, vals):
+        p1 = PowerTrace(np.asarray(vals) + 1.0, HOUR)
+        p2 = PowerTrace(2 * (np.asarray(vals) + 1.0), HOUR)
+        ci = CarbonIntensityTrace.constant(250.0, len(vals) * HOUR)
+        assert operational_carbon(p2, ci) == pytest.approx(
+            2 * operational_carbon(p1, ci), rel=1e-9)

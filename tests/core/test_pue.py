@@ -1,0 +1,58 @@
+"""Tests for the facility PUE model."""
+
+import pytest
+
+from repro.core import (
+    FacilityModel,
+    PUE_AIR_COOLED,
+    PUE_GLOBAL_AVERAGE,
+    PUE_WARM_WATER,
+)
+
+
+class TestConstants:
+    def test_ordering(self):
+        assert 1.0 < PUE_WARM_WATER < PUE_AIR_COOLED <= PUE_GLOBAL_AVERAGE
+
+
+class TestFacilityModel:
+    def test_power_multiplier(self):
+        f = FacilityModel(pue=1.5)
+        assert f.facility_power_watts(1000.0) == 1500.0
+
+    def test_energy_with_heat_reuse_credit(self):
+        f = FacilityModel(pue=1.5, heat_reuse_fraction=0.2)
+        assert f.effective_multiplier == pytest.approx(1.2)
+        assert f.facility_energy_kwh(100.0) == pytest.approx(120.0)
+
+    def test_carbon(self):
+        f = FacilityModel(pue=1.1)
+        # 100 kWh IT -> 110 kWh facility at 300 g = 33 kg
+        assert f.facility_carbon_kg(100.0, 300.0) == pytest.approx(33.0)
+
+    def test_overhead_carbon(self):
+        f = FacilityModel(pue=1.5)
+        assert f.overhead_carbon_kg(100.0, 300.0) == pytest.approx(15.0)
+
+    def test_perfect_facility_zero_overhead(self):
+        f = FacilityModel(pue=1.0)
+        assert f.overhead_carbon_kg(100.0, 300.0) == 0.0
+
+    def test_warm_water_beats_air_cooled(self):
+        """The siting comparison the module docstring motivates."""
+        warm = FacilityModel(pue=PUE_WARM_WATER)
+        air = FacilityModel(pue=PUE_AIR_COOLED)
+        it = 1e6  # kWh
+        assert air.facility_carbon_kg(it, 300.0) > \
+            1.3 * warm.facility_carbon_kg(it, 300.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="PUE"):
+            FacilityModel(pue=0.9)
+        with pytest.raises(ValueError):
+            FacilityModel(heat_reuse_fraction=1.0)
+        f = FacilityModel()
+        with pytest.raises(ValueError):
+            f.facility_power_watts(-1.0)
+        with pytest.raises(ValueError):
+            f.facility_carbon_kg(1.0, -1.0)

@@ -1,0 +1,96 @@
+"""Tests for GHG-protocol scope classification."""
+
+import pytest
+
+from repro.core import EmissionsInventory, Scope, classify
+from repro.core.scopes import EmissionSource
+
+
+class TestClassify:
+    def test_scope1_sources(self):
+        assert classify("onsite_fuel") is Scope.SCOPE_1
+        assert classify("staff_activity") is Scope.SCOPE_1
+
+    def test_scope2_sources(self):
+        assert classify("grid_electricity") is Scope.SCOPE_2
+        assert classify("purchased_cooling") is Scope.SCOPE_2
+
+    def test_scope3_sources(self):
+        assert classify("component_manufacturing") is Scope.SCOPE_3
+        assert classify("transport") is Scope.SCOPE_3
+        assert classify("disposal") is Scope.SCOPE_3
+
+    def test_unknown_kind_lists_known(self):
+        with pytest.raises(KeyError, match="known kinds"):
+            classify("pizza_delivery")
+
+
+class TestEmissionSource:
+    def test_validates_kind_eagerly(self):
+        with pytest.raises(KeyError):
+            EmissionSource("bogus", 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EmissionSource("grid_electricity", -1.0)
+
+    def test_scope_property(self):
+        assert EmissionSource("grid_electricity", 5.0).scope is Scope.SCOPE_2
+
+
+class TestEmissionsInventory:
+    def make_inventory(self):
+        inv = EmissionsInventory()
+        inv.add("backup_generator", 10.0)
+        inv.add("grid_electricity", 500.0)
+        inv.add("component_manufacturing", 300.0)
+        inv.add("component_packaging", 40.0)
+        return inv
+
+    def test_by_scope(self):
+        inv = self.make_inventory()
+        t = inv.by_scope()
+        assert t[Scope.SCOPE_1] == 10.0
+        assert t[Scope.SCOPE_2] == 500.0
+        assert t[Scope.SCOPE_3] == 340.0
+
+    def test_operational_is_s1_plus_s2(self):
+        """The paper's definition: operational = Scope 1 + Scope 2."""
+        inv = self.make_inventory()
+        assert inv.operational_kg == 510.0
+
+    def test_embodied_is_s3(self):
+        """The paper's definition: embodied = Scope 3."""
+        inv = self.make_inventory()
+        assert inv.embodied_kg == 340.0
+
+    def test_total(self):
+        assert self.make_inventory().total_kg == 850.0
+
+    def test_empty_inventory(self):
+        inv = EmissionsInventory()
+        assert inv.total_kg == 0.0
+        assert inv.operational_kg == 0.0
+
+    def test_merged(self):
+        a = self.make_inventory()
+        b = EmissionsInventory()
+        b.add("grid_electricity", 100.0)
+        m = a.merged(b)
+        assert m.total_kg == 950.0
+        assert a.total_kg == 850.0  # originals untouched
+
+    def test_scope1_negligible_pattern(self):
+        """The paper: Scope 1 is negligible vs Scope 2 and 3 (except
+        RIKEN-style on-site generation) — the inventory can express both."""
+        typical = self.make_inventory()
+        assert typical.scope1_kg / typical.total_kg < 0.05
+        riken = EmissionsInventory()
+        riken.add("onsite_fuel", 5000.0)
+        riken.add("grid_electricity", 1000.0)
+        assert riken.scope1_kg > riken.scope2_kg
+
+    def test_summary_renders(self):
+        s = self.make_inventory().summary()
+        assert "Scope 1" in s and "Scope 3" in s
+        assert "embodied" in s

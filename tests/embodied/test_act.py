@@ -1,0 +1,115 @@
+"""Tests for the ACT die-carbon model core."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embodied import FabProcess, die_yield, logic_die_carbon, wafer_carbon_per_cm2
+from repro.embodied.act import effective_yield
+
+
+class TestDieYield:
+    def test_zero_area_is_perfect(self):
+        assert die_yield(0.0, 0.1) == 1.0
+
+    def test_zero_defects_is_perfect(self):
+        assert die_yield(800.0, 0.0) == 1.0
+
+    def test_poisson_formula(self):
+        # A=100mm2=1cm2, D0=0.1 -> e^-0.1
+        assert die_yield(100.0, 0.1, model="poisson") == \
+            pytest.approx(math.exp(-0.1))
+
+    def test_murphy_above_poisson(self):
+        """Murphy is the optimistic industry compromise for large dies."""
+        for area in (100.0, 400.0, 826.0):
+            assert die_yield(area, 0.1, "murphy") > die_yield(area, 0.1, "poisson")
+
+    def test_monotone_decreasing_in_area(self):
+        ys = [die_yield(a, 0.1) for a in (50, 100, 400, 826)]
+        assert all(a > b for a, b in zip(ys, ys[1:]))
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="yield model"):
+            die_yield(100.0, 0.1, model="seeds")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            die_yield(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            die_yield(1.0, -0.1)
+
+    @given(area=st.floats(1, 1000), d0=st.floats(0, 0.5))
+    @settings(max_examples=100)
+    def test_yield_in_unit_interval(self, area, d0):
+        for model in ("poisson", "murphy"):
+            y = die_yield(area, d0, model)
+            assert 0.0 < y <= 1.0
+
+
+class TestEffectiveYield:
+    def test_no_harvest_equals_plain(self):
+        assert effective_yield(826.0, 0.1, 0.0) == die_yield(826.0, 0.1)
+
+    def test_full_harvest_is_perfect(self):
+        assert effective_yield(826.0, 0.1, 1.0) == pytest.approx(1.0)
+
+    def test_harvest_interpolates(self):
+        y = die_yield(826.0, 0.1)
+        assert effective_yield(826.0, 0.1, 0.5) == pytest.approx(
+            y + 0.5 * (1 - y))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            effective_yield(100.0, 0.1, 1.5)
+
+
+class TestWaferCarbon:
+    def test_components_add_up(self):
+        fab = FabProcess.named(14, "TW")
+        n = fab.node
+        ci_kg = fab.location.grid_intensity_g_per_kwh / 1000.0
+        expected = ci_kg * n.epa_kwh_per_cm2 + n.gpa_kg_per_cm2 + n.mpa_kg_per_cm2
+        assert wafer_carbon_per_cm2(fab) == pytest.approx(expected)
+
+    def test_green_fab_cheaper(self):
+        """§2.1 step (1): fab grid intensity drives manufacturing carbon."""
+        tw = wafer_carbon_per_cm2(FabProcess.named(7, "TW"))
+        green = wafer_carbon_per_cm2(FabProcess.named(7, "GREEN"))
+        assert green < tw
+        # but gas + materials remain: the floor is not zero
+        assert green > 0.5
+
+    def test_smaller_nodes_carry_more_carbon_per_area(self):
+        per_cm2 = [wafer_carbon_per_cm2(FabProcess.named(n, "TW"))
+                   for n in (28, 14, 7, 5)]
+        assert all(a < b for a, b in zip(per_cm2, per_cm2[1:]))
+
+
+class TestLogicDieCarbon:
+    def test_yield_division(self):
+        fab = FabProcess.named(14, "TW")
+        area = 694.0  # Skylake XCC
+        raw = wafer_carbon_per_cm2(fab) * area / 100.0
+        carbon = logic_die_carbon(area, fab)
+        assert carbon == pytest.approx(raw / die_yield(
+            area, fab.node.defect_density_per_cm2))
+
+    def test_large_die_superlinear(self):
+        """The paper's GPU observation: big dies cost disproportionately
+        more carbon because yield drops with area."""
+        fab = FabProcess.named(7, "TW")
+        small = logic_die_carbon(100.0, fab)
+        big = logic_die_carbon(800.0, fab)
+        assert big > 8.0 * small
+
+    def test_harvest_reduces_carbon(self):
+        fab = FabProcess.named(7, "TW")
+        plain = logic_die_carbon(826.0, fab)
+        harvested = logic_die_carbon(826.0, fab, harvest_fraction=0.35)
+        assert harvested < plain
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ValueError):
+            logic_die_carbon(0.0, FabProcess.named(7, "TW"))

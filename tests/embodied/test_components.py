@@ -1,0 +1,147 @@
+"""Tests for component-level embodied carbon calculators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embodied import (
+    DRAM_KG_PER_GB,
+    HDD_KG_PER_GB,
+    SSD_KG_PER_GB,
+    ChipletSpec,
+    ComponentCarbon,
+    CPUSpec,
+    GPUSpec,
+    cpu_carbon,
+    dram_carbon,
+    gpu_carbon,
+    hdd_carbon,
+    ssd_carbon,
+)
+from repro.embodied.packaging import PackageSpec
+from repro.embodied.systems import EPYC_ROME_7742, NVIDIA_A100, SKYLAKE_SP
+
+
+class TestComponentCarbon:
+    def test_total_and_add(self):
+        a = ComponentCarbon(10.0, 2.0)
+        b = ComponentCarbon(5.0, 1.0)
+        c = a + b
+        assert c.total_kg == 18.0
+        assert c.manufacturing_kg == 15.0
+
+    def test_scaled(self):
+        assert ComponentCarbon(10.0, 2.0).scaled(3).total_kg == 36.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComponentCarbon(-1.0)
+        with pytest.raises(ValueError):
+            ComponentCarbon(1.0).scaled(-1)
+
+
+class TestChipletSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipletSpec(0.0, 7)
+        with pytest.raises(ValueError):
+            ChipletSpec(100.0, 7, count=0)
+        with pytest.raises(ValueError):
+            ChipletSpec(100.0, 7, harvest_fraction=2.0)
+
+    def test_fab_resolution(self):
+        c = ChipletSpec(100.0, 7, "GREEN")
+        assert c.fab.location.renewable_powered
+
+
+class TestCPUCarbon:
+    def test_skylake_monolithic_magnitude(self):
+        """A ~700mm2 14nm monolithic server CPU lands in the
+        10-25 kgCO2e range (ACT-scale magnitudes)."""
+        c = cpu_carbon(SKYLAKE_SP)
+        assert 10.0 < c.total_kg < 25.0
+        assert c.packaging_kg < c.manufacturing_kg
+
+    def test_rome_chiplets_sum(self):
+        c = cpu_carbon(EPYC_ROME_7742)
+        # 8 CCDs + 1 IOD: manufacturing covers both
+        assert c.total_kg > cpu_carbon(SKYLAKE_SP).total_kg
+
+    def test_cpu_spec_validation(self):
+        with pytest.raises(ValueError):
+            CPUSpec("x", chiplets=())
+        with pytest.raises(ValueError):
+            CPUSpec("x", chiplets=(ChipletSpec(10, 7),), tdp_watts=0)
+
+    def test_n_dies_counts_all(self):
+        assert EPYC_ROME_7742.n_dies == 9
+        assert SKYLAKE_SP.n_dies == 1
+
+    def test_total_die_area(self):
+        assert EPYC_ROME_7742.total_die_area_mm2 == pytest.approx(
+            8 * 74.0 + 416.0)
+
+
+class TestGPUCarbon:
+    def test_a100_magnitude_and_dominance(self):
+        """The paper: GPUs have significantly higher embodied carbon —
+        an A100 must far exceed a CPU."""
+        gpu = gpu_carbon(NVIDIA_A100).total_kg
+        cpu = cpu_carbon(SKYLAKE_SP).total_kg
+        assert gpu > 2.0 * cpu
+        assert 30.0 < gpu < 80.0
+
+    def test_hbm_attributed_to_gpu(self):
+        with_hbm = gpu_carbon(NVIDIA_A100).total_kg
+        no_hbm = gpu_carbon(GPUSpec(
+            name="A100-noHBM", chiplets=NVIDIA_A100.chiplets,
+            hbm_gb=0.0, packaging=PackageSpec(
+                technology="interposer_2_5d", interposer_area_mm2=1300.0),
+        )).total_kg
+        assert with_hbm - no_hbm >= 40.0 * DRAM_KG_PER_GB["HBM2E"] * 0.9
+
+    def test_gpu_spec_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec("x", chiplets=())
+        with pytest.raises(ValueError):
+            GPUSpec("x", chiplets=(ChipletSpec(10, 7),), hbm_gb=-1)
+        with pytest.raises(ValueError):
+            GPUSpec("x", chiplets=(ChipletSpec(10, 7),),
+                    hbm_generation="HBM9")
+
+
+class TestMemoryStorage:
+    def test_dram_per_gb(self):
+        assert dram_carbon(1000.0, "DDR4").total_kg == pytest.approx(
+            1000.0 * DRAM_KG_PER_GB["DDR4"])
+
+    def test_generations_ordering(self):
+        """Newer DRAM generations carry less carbon per GB."""
+        assert DRAM_KG_PER_GB["DDR3"] > DRAM_KG_PER_GB["DDR4"] > \
+            DRAM_KG_PER_GB["DDR5"]
+
+    def test_unknown_generation(self):
+        with pytest.raises(KeyError, match="available"):
+            dram_carbon(1.0, "DDR9")
+
+    def test_ssd_vs_hdd_per_gb(self):
+        """Flash carries an order of magnitude more carbon per GB than
+        spinning disk — why the HPC storage mix matters."""
+        assert SSD_KG_PER_GB > 10 * HDD_KG_PER_GB
+        assert ssd_carbon(1e6).total_kg > 10 * hdd_carbon(1e6).total_kg
+
+    def test_zero_capacity(self):
+        assert dram_carbon(0.0).total_kg == 0.0
+        assert ssd_carbon(0.0).total_kg == 0.0
+        assert hdd_carbon(0.0).total_kg == 0.0
+
+    def test_rejects_negative_capacity(self):
+        for fn in (ssd_carbon, hdd_carbon):
+            with pytest.raises(ValueError):
+                fn(-1.0)
+        with pytest.raises(ValueError):
+            dram_carbon(-1.0)
+
+    @given(gb=st.floats(0, 1e8))
+    def test_linearity(self, gb):
+        assert dram_carbon(2 * gb).total_kg == pytest.approx(
+            2 * dram_carbon(gb).total_kg, rel=1e-9, abs=1e-9)

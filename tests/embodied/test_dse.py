@@ -1,0 +1,122 @@
+"""Tests for carbon-aware processor design-space exploration (§2.1)."""
+
+import pytest
+
+from repro.embodied import DesignPoint, enumerate_designs, evaluate_design, explore
+
+
+class TestDesignPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignPoint(0, 100.0, 7)
+        with pytest.raises(ValueError):
+            DesignPoint(1, -1.0, 7)
+        with pytest.raises(ValueError, match="scaling data"):
+            DesignPoint(1, 100.0, 6)
+
+    def test_monolithic_packaging(self):
+        d = DesignPoint(1, 400.0, 7)
+        assert d.packaging.technology == "monolithic"
+
+    def test_chiplet_packaging_uses_interposer(self):
+        d = DesignPoint(4, 150.0, 7)
+        assert d.packaging.technology == "interposer_2_5d"
+        assert d.packaging.interposer_area_mm2 == pytest.approx(
+            1.15 * 600.0)
+
+    def test_throughput_scales_with_area_and_node(self):
+        base = DesignPoint(1, 100.0, 14).throughput_gops()
+        bigger = DesignPoint(1, 200.0, 14).throughput_gops()
+        newer = DesignPoint(1, 100.0, 7).throughput_gops()
+        assert bigger == pytest.approx(2 * base)
+        assert newer > base
+
+    def test_newer_node_lower_energy_per_op(self):
+        """Same area on a newer node: more perf, less energy per op."""
+        old = DesignPoint(1, 400.0, 14)
+        new = DesignPoint(1, 400.0, 7)
+        e_old = old.power_watts() / old.throughput_gops()
+        e_new = new.power_watts() / new.throughput_gops()
+        assert e_new < e_old
+
+    def test_chiplets_reduce_die_carbon_but_add_packaging(self):
+        mono = DesignPoint(1, 400.0, 7)
+        split = DesignPoint(4, 100.0, 7)
+        # same silicon, better yield per small die...
+        assert split.embodied_kg() == pytest.approx(mono.embodied_kg(),
+                                                    rel=0.6)
+        # ...and identical throughput
+        assert split.throughput_gops() == pytest.approx(
+            mono.throughput_gops())
+
+
+class TestEvaluate:
+    WORK = 1e12  # giga-ops
+
+    def test_delay_energy_consistency(self):
+        d = DesignPoint(1, 400.0, 7)
+        ev = evaluate_design(d, self.WORK, grid_intensity=300.0)
+        assert ev.delay_s == pytest.approx(self.WORK / d.throughput_gops())
+        assert ev.energy_kwh == pytest.approx(
+            d.power_watts() * ev.delay_s / 3.6e6)
+
+    def test_operational_scales_with_intensity(self):
+        d = DesignPoint(1, 400.0, 7)
+        low = evaluate_design(d, self.WORK, grid_intensity=20.0)
+        high = evaluate_design(d, self.WORK, grid_intensity=1000.0)
+        assert high.operational_kg == pytest.approx(
+            50 * low.operational_kg)
+        assert high.embodied_kg == pytest.approx(low.embodied_kg)
+
+    def test_validation(self):
+        d = DesignPoint(1, 100.0, 7)
+        with pytest.raises(ValueError):
+            evaluate_design(d, 0.0, 300.0)
+        with pytest.raises(ValueError):
+            evaluate_design(d, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            evaluate_design(d, 1.0, 300.0, utilization=0.0)
+
+
+class TestExplore:
+    WORK = 1e12
+
+    def test_enumerate_prunes(self):
+        designs = enumerate_designs(max_total_area_mm2=800.0)
+        assert designs
+        assert all(d.total_area_mm2 <= 800.0 for d in designs)
+
+    def test_optima_depend_on_metric(self):
+        """§2.1 (via ACT): 'the optimal design point could change
+        depending on the design objective metric such as CDP, CEP'."""
+        result = explore(enumerate_designs(), self.WORK, grid_intensity=400.0)
+        assert result.optima_disagree()
+
+    def test_optimum_shifts_with_grid_intensity(self):
+        """§2.1 end-to-end design: for poorly-amortized silicon the
+        carbon-optimal node at a hydro site (embodied-dominated: mature
+        node wins) differs from the one at a fossil site (operational-
+        dominated: leading edge wins)."""
+        designs = enumerate_designs()
+        low = explore(designs, 1e10, grid_intensity=20.0, utilization=0.01)
+        high = explore(designs, 1e10, grid_intensity=1025.0,
+                       utilization=0.01)
+        d_low = low.best("carbon").design
+        d_high = high.best("carbon").design
+        assert d_low.node_nm > d_high.node_nm  # mature vs leading edge
+
+    def test_carbon_metric_supported(self):
+        result = explore(enumerate_designs(), self.WORK, 300.0)
+        best = result.best("carbon")
+        assert all(best.total_carbon_kg <= e.total_carbon_kg
+                   for e in result.evaluations)
+
+    def test_best_is_minimal(self):
+        result = explore(enumerate_designs(), self.WORK, 300.0)
+        best = result.best("cdp")
+        assert all(best.cdp <= e.cdp for e in result.evaluations)
+
+    def test_unknown_metric(self):
+        result = explore(enumerate_designs(), self.WORK, 300.0)
+        with pytest.raises(ValueError):
+            result.best("vibes")

@@ -1,0 +1,52 @@
+"""Tests for the fab/process database."""
+
+import pytest
+
+from repro.embodied import FAB_LOCATIONS, PROCESS_NODES, get_fab_location, get_process
+from repro.embodied.fabs import FabLocation, ProcessNode
+
+
+class TestProcessNodes:
+    def test_known_nodes_present(self):
+        for n in (28, 14, 12, 10, 7, 5):
+            assert get_process(n).node_nm == n
+
+    def test_epa_grows_toward_leading_edge(self):
+        nodes = sorted(PROCESS_NODES)  # ascending nm = leading edge first
+        epas = [PROCESS_NODES[n].epa_kwh_per_cm2 for n in nodes]
+        # smaller node -> higher EPA
+        assert all(a > b for a, b in zip(epas, epas[1:]))
+
+    def test_unknown_node_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_process(6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessNode(0, 1, 1, 1, 0.1)
+        with pytest.raises(ValueError):
+            ProcessNode(7, -1, 1, 1, 0.1)
+
+
+class TestFabLocations:
+    def test_taiwan_fossil_heavy(self):
+        assert get_fab_location("TW").grid_intensity_g_per_kwh > 400
+
+    def test_green_fab_flagged(self):
+        g = get_fab_location("GREEN")
+        assert g.renewable_powered
+        assert g.grid_intensity_g_per_kwh < 50
+
+    def test_case_insensitive(self):
+        assert get_fab_location("tw") is get_fab_location("TW")
+
+    def test_unknown_location(self):
+        with pytest.raises(KeyError, match="available"):
+            get_fab_location("MARS")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabLocation("X", -1.0)
+
+    def test_all_locations_registered(self):
+        assert set(FAB_LOCATIONS) == {"TW", "KR", "US", "EU", "JP", "GREEN"}

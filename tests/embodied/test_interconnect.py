@@ -1,0 +1,80 @@
+"""Tests for the interconnect sensitivity model (the paper's omission)."""
+
+import pytest
+
+from repro.embodied import (
+    HAWK,
+    JUWELS_BOOSTER,
+    SUPERMUC_NG,
+    figure1_share_with_network,
+    interconnect_carbon_kg,
+)
+from repro.embodied.interconnect import HIGH, LOW, MID, InterconnectScenario, fat_tree_ports
+
+
+class TestScenario:
+    def test_presets_ordered(self):
+        """Per-part carbon grows LOW -> MID -> HIGH."""
+        assert LOW.nic_kg() < MID.nic_kg() < HIGH.nic_kg()
+        assert LOW.switch_kg() < MID.switch_kg() < HIGH.switch_kg()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectScenario("x", 0.0, 1.0, 500.0, 1.0, 64, 0.1)
+        with pytest.raises(ValueError):
+            InterconnectScenario("x", 100.0, 1.0, 500.0, 1.0, 1, 0.1)
+        with pytest.raises(ValueError):
+            InterconnectScenario("x", 100.0, -1.0, 500.0, 1.0, 64, 0.1)
+
+
+class TestFatTree:
+    def test_one_nic_per_node(self):
+        parts = fat_tree_ports(1000, 64)
+        assert parts["nics"] == 1000
+        assert parts["optic_ports"] == 3000
+
+    def test_switch_count_scales_with_fill(self):
+        small = fat_tree_ports(100, 64)["switches"]
+        big = fat_tree_ports(10000, 64)["switches"]
+        assert big > small
+
+    def test_full_fat_tree(self):
+        radix = 8
+        parts = fat_tree_ports(radix ** 3 // 4, radix)
+        assert parts["switches"] == 5 * radix * radix // 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fat_tree_ports(0, 64)
+        with pytest.raises(ValueError):
+            fat_tree_ports(10, 1)
+
+
+class TestSensitivity:
+    def test_total_scales_with_scenario(self):
+        totals = [interconnect_carbon_kg(3000, s) for s in (LOW, MID, HIGH)]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_network_share_plausible_range(self):
+        """Under LOW..HIGH assumptions the omitted network would add a
+        few percent up to ~25% of embodied carbon — material, which is
+        exactly why the paper flags the omission."""
+        for system in (SUPERMUC_NG, HAWK, JUWELS_BOOSTER):
+            low = figure1_share_with_network(system, LOW)["network"]
+            high = figure1_share_with_network(system, HIGH)["network"]
+            assert 0.005 < low < high < 0.40, system.name
+
+    def test_shares_still_sum_to_one(self):
+        s = figure1_share_with_network(SUPERMUC_NG, MID)
+        assert sum(s.values()) == pytest.approx(1.0)
+
+    def test_original_ordering_preserved(self):
+        """Adding the network dilutes but does not reorder Fig. 1's
+        qualitative story (GPUs still dominate Juwels Booster)."""
+        s = figure1_share_with_network(JUWELS_BOOSTER, MID)
+        assert s["gpu"] == max(s["gpu"], s["cpu"], s["memory"],
+                               s["storage"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            figure1_share_with_network(SUPERMUC_NG, MID, nodes_per_cpu=0.0)

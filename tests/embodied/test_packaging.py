@@ -1,0 +1,85 @@
+"""Tests for the chiplet packaging model (§2.1)."""
+
+import pytest
+
+from repro.embodied import PackageSpec, packaging_carbon, package_yield
+from repro.embodied.packaging import interposer_carbon
+
+
+class TestPackageSpec:
+    def test_technologies(self):
+        for tech in ("monolithic", "organic", "interposer_2_5d", "3d"):
+            PackageSpec(technology=tech)
+
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError, match="packaging technology"):
+            PackageSpec(technology="duct_tape")
+
+    def test_interposer_only_for_2_5d(self):
+        with pytest.raises(ValueError):
+            PackageSpec(technology="organic", interposer_area_mm2=100.0)
+
+    def test_attach_multiplier_ordering(self):
+        mono = PackageSpec("monolithic").attach_multiplier
+        org = PackageSpec("organic").attach_multiplier
+        i25 = PackageSpec("interposer_2_5d").attach_multiplier
+        d3 = PackageSpec("3d").attach_multiplier
+        assert mono < org < i25 < d3
+
+
+class TestPackageYield:
+    def test_monolithic_is_perfect(self):
+        assert package_yield(1) == 1.0
+
+    def test_declines_with_chiplets(self):
+        """Every extra chiplet is another chance to scrap the package —
+        the carbon cost of disintegration (Ponte Vecchio's 63 chiplets)."""
+        ys = [package_yield(n) for n in (2, 8, 16, 63)]
+        assert all(a > b for a, b in zip(ys, ys[1:]))
+        assert package_yield(63) < 0.8
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            package_yield(0)
+        with pytest.raises(ValueError):
+            package_yield(2, attach_yield=0.0)
+
+
+class TestInterposerCarbon:
+    def test_mature_node_cheap_per_area(self):
+        from repro.embodied import FabProcess, logic_die_carbon
+        # same area on 7nm logic costs much more than an interposer
+        logic = logic_die_carbon(1300.0, FabProcess.named(7, "TW"))
+        interposer = interposer_carbon(1300.0)
+        assert interposer < logic / 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            interposer_carbon(0.0)
+
+
+class TestPackagingCarbon:
+    def test_monolithic_base_only(self):
+        c = packaging_carbon(PackageSpec("monolithic"), 1)
+        assert c == pytest.approx(0.45)
+
+    def test_grows_with_chiplets(self):
+        spec = PackageSpec("organic")
+        assert packaging_carbon(spec, 9) > packaging_carbon(spec, 2)
+
+    def test_interposer_included(self):
+        no_int = packaging_carbon(PackageSpec("interposer_2_5d"), 5)
+        with_int = packaging_carbon(
+            PackageSpec("interposer_2_5d", interposer_area_mm2=1300.0), 5)
+        assert with_int > no_int + 5.0
+
+    def test_yield_divides(self):
+        spec = PackageSpec("3d")
+        c8 = packaging_carbon(spec, 8)
+        # raw cost / yield: reconstructed manually
+        raw = 0.45 + 0.12 * spec.attach_multiplier * 8
+        assert c8 == pytest.approx(raw / package_yield(8))
+
+    def test_rejects_zero_chiplets(self):
+        with pytest.raises(ValueError):
+            packaging_carbon(PackageSpec(), 0)

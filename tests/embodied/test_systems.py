@@ -1,0 +1,102 @@
+"""Tests for system inventories and the Figure-1 reproduction targets."""
+
+import pytest
+
+from repro.embodied import (
+    HAWK,
+    JUWELS_BOOSTER,
+    KNOWN_SYSTEMS,
+    SUPERMUC_NG,
+    StorageMix,
+    SystemInventory,
+    memory_storage_share,
+    system_embodied_breakdown,
+)
+from repro.embodied.systems import SKYLAKE_SP
+
+
+class TestInventoryData:
+    """The §2 component counts, verbatim from the paper."""
+
+    def test_juwels_booster_counts(self):
+        assert JUWELS_BOOSTER.n_gpus == 3744
+        assert JUWELS_BOOSTER.n_cpus == 1872
+        assert JUWELS_BOOSTER.dram_pb == 0.47
+        assert JUWELS_BOOSTER.storage_pb == 37.6
+
+    def test_supermuc_ng_counts(self):
+        assert SUPERMUC_NG.n_cpus == 12960
+        assert SUPERMUC_NG.dram_pb == 0.72
+        assert SUPERMUC_NG.storage_pb == 70.26
+        assert SUPERMUC_NG.n_gpus == 0
+
+    def test_hawk_counts(self):
+        assert HAWK.n_cpus == 11264
+        assert HAWK.dram_pb == 1.4
+        assert HAWK.storage_pb == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no GPU spec"):
+            SystemInventory("x", n_cpus=1, cpu=SKYLAKE_SP, dram_pb=1,
+                            storage_pb=1, n_gpus=4)
+        with pytest.raises(ValueError):
+            SystemInventory("x", n_cpus=-1, cpu=SKYLAKE_SP, dram_pb=1,
+                            storage_pb=1)
+        with pytest.raises(ValueError):
+            SystemInventory("x", n_cpus=1, cpu=SKYLAKE_SP, dram_pb=1,
+                            storage_pb=1, lifetime_years=0)
+
+
+class TestStorageMix:
+    def test_interpolates_hdd_ssd(self):
+        from repro.embodied import HDD_KG_PER_GB, SSD_KG_PER_GB
+        all_hdd = StorageMix(ssd_fraction=0.0).carbon(1e6).total_kg
+        all_ssd = StorageMix(ssd_fraction=1.0).carbon(1e6).total_kg
+        assert all_hdd == pytest.approx(1e6 * HDD_KG_PER_GB)
+        assert all_ssd == pytest.approx(1e6 * SSD_KG_PER_GB)
+        mid = StorageMix(ssd_fraction=0.5).carbon(1e6).total_kg
+        assert all_hdd < mid < all_ssd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageMix(ssd_fraction=1.5)
+
+
+class TestFigure1:
+    """The reproduction targets: shares from §2 of the paper."""
+
+    def test_memory_storage_shares_match_paper(self):
+        """43.5% / 59.6% / 55.5% for JB / NG / Hawk (±1 pp)."""
+        assert memory_storage_share(JUWELS_BOOSTER) == pytest.approx(
+            0.435, abs=0.01)
+        assert memory_storage_share(SUPERMUC_NG) == pytest.approx(
+            0.596, abs=0.01)
+        assert memory_storage_share(HAWK) == pytest.approx(0.555, abs=0.01)
+
+    def test_gpus_dominate_juwels_booster(self):
+        """'GPUs have a significantly higher carbon embodied footprint'."""
+        b = system_embodied_breakdown(JUWELS_BOOSTER)
+        assert b["gpu"] > b["cpu"]
+        assert b["gpu"] > b["memory"]
+        assert b["gpu"] > b["storage"]
+        assert b["gpu"] / b["total"] > 0.4
+
+    def test_breakdown_sums_to_total(self):
+        for s in KNOWN_SYSTEMS.values():
+            b = system_embodied_breakdown(s)
+            assert b["total"] == pytest.approx(
+                b["cpu"] + b["gpu"] + b["memory"] + b["storage"])
+
+    def test_cpu_only_systems_have_zero_gpu(self):
+        assert system_embodied_breakdown(SUPERMUC_NG)["gpu"] == 0.0
+        assert system_embodied_breakdown(HAWK)["gpu"] == 0.0
+
+    def test_totals_are_hundreds_of_tonnes(self):
+        """Magnitude sanity: Top-3 German systems embody O(100-1000) t."""
+        for name in ("Juwels Booster", "SuperMUC-NG", "Hawk"):
+            total_t = system_embodied_breakdown(KNOWN_SYSTEMS[name])["total"] / 1e3
+            assert 100.0 < total_t < 2000.0, name
+
+    def test_known_systems_registry(self):
+        assert {"Juwels Booster", "SuperMUC-NG", "Hawk",
+                "Frontier", "Fugaku"} <= set(KNOWN_SYSTEMS)

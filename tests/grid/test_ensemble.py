@@ -1,0 +1,84 @@
+"""Tests for the ensemble forecaster and rolling evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    ARForecaster,
+    CarbonIntensityTrace,
+    EnsembleForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    SyntheticProvider,
+    compare_forecasters,
+)
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+class TestEnsemble:
+    def test_mean_of_members(self):
+        hist = CarbonIntensityTrace(
+            np.linspace(100, 200, 48), HOUR)
+        members = [PersistenceForecaster(), SeasonalNaiveForecaster()]
+        ens = EnsembleForecaster(members).fit(hist)
+        pred = ens.predict(4)
+        m0 = members[0].predict(4).values
+        m1 = members[1].predict(4).values
+        np.testing.assert_allclose(pred.values, (m0 + m1) / 2)
+
+    def test_default_members(self):
+        ens = EnsembleForecaster()
+        assert len(ens.members) == 3
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleForecaster([])
+
+    def test_beats_worst_member(self):
+        """The ensemble must land between its best and worst members."""
+        p = SyntheticProvider("DE", seed=3)
+        hist = p.history(0, 10 * DAY)
+        actual = p.history(10 * DAY, 11 * DAY)
+        members = {
+            "pers": PersistenceForecaster(),
+            "ar": ARForecaster(order=4),
+        }
+        from repro.grid import forecast_skill
+        errs = {}
+        for name, m in members.items():
+            errs[name] = forecast_skill(m.fit(hist).predict(24), actual)["rmse"]
+        ens_err = forecast_skill(
+            EnsembleForecaster(list(members.values())).fit(hist).predict(24),
+            actual)["rmse"]
+        assert ens_err <= max(errs.values()) + 1e-9
+
+
+class TestCompareForecasters:
+    def test_table_structure(self):
+        p = SyntheticProvider("ES", seed=1)
+        table = compare_forecasters(
+            p, {"pers": PersistenceForecaster(),
+                "sn": SeasonalNaiveForecaster()},
+            fit_window_s=5 * DAY, horizon_steps=24, n_folds=3)
+        assert set(table) == {"pers", "sn"}
+        for row in table.values():
+            assert set(row) == {"mae", "rmse", "mape"}
+            assert row["mae"] >= 0 and row["rmse"] >= row["mae"] * 0.99
+
+    def test_ar_beats_persistence_on_synthetic_grid(self):
+        """The forecast-quality ordering behind §3.1/§3.3."""
+        p = SyntheticProvider("DE", seed=3)
+        table = compare_forecasters(
+            p, {"pers": PersistenceForecaster(),
+                "ar": ARForecaster(order=4)},
+            fit_window_s=7 * DAY, horizon_steps=24, n_folds=5)
+        assert table["ar"]["rmse"] < table["pers"]["rmse"]
+
+    def test_rejects_zero_folds(self):
+        p = SyntheticProvider("DE", seed=3)
+        with pytest.raises(ValueError):
+            compare_forecasters(p, {"pers": PersistenceForecaster()},
+                                fit_window_s=DAY, horizon_steps=4,
+                                n_folds=0)

@@ -1,0 +1,81 @@
+"""Tests for CSV trace import/export."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.grid import CarbonIntensityTrace, generate_month, read_trace_csv, write_trace_csv
+
+HOUR = 3600.0
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = generate_month("FI", seed=0)
+        path = tmp_path / "fi.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path, zone="FI")
+        # CSV stores 6 decimals, so compare at that absolute precision
+        np.testing.assert_allclose(back.values, trace.values, atol=1e-5)
+        assert back.step_seconds == trace.step_seconds
+        assert back.start_time == trace.start_time
+        assert back.zone == "FI"
+
+    def test_roundtrip_via_stream(self):
+        trace = CarbonIntensityTrace(np.array([10.0, 20.0, 30.0]), HOUR,
+                                     start_time=7200.0)
+        buf = io.StringIO()
+        write_trace_csv(trace, buf)
+        buf.seek(0)
+        back = read_trace_csv(buf)
+        np.testing.assert_allclose(back.values, trace.values)
+        assert back.start_time == 7200.0
+
+    def test_statistics_survive(self, tmp_path):
+        """The calibrated FI statistics survive the round trip."""
+        trace = generate_month("FI", seed=0)
+        path = tmp_path / "fi.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert back.daily_means().std() == pytest.approx(47.21, abs=1e-4)
+
+
+class TestValidation:
+    def test_wrong_header(self):
+        buf = io.StringIO("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(buf)
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_trace_csv(io.StringIO(""))
+
+    def test_single_row(self):
+        buf = io.StringIO("time_s,intensity_g_per_kwh\n0,100\n")
+        with pytest.raises(ValueError, match="two samples"):
+            read_trace_csv(buf)
+
+    def test_irregular_sampling(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\n3600,100\n9000,100\n")
+        with pytest.raises(ValueError, match="irregular"):
+            read_trace_csv(buf)
+
+    def test_non_monotone(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n3600,100\n0,100\n")
+        with pytest.raises(ValueError, match="increasing"):
+            read_trace_csv(buf)
+
+    def test_unparseable(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\nx,100\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            read_trace_csv(buf)
+
+    def test_wrong_column_count(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100,5\n3600,100,5\n")
+        with pytest.raises(ValueError, match="2 columns"):
+            read_trace_csv(buf)

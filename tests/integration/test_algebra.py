@@ -1,0 +1,107 @@
+"""Property tests on trace algebra and engine bookkeeping.
+
+These pin the compositional laws the rest of the system silently relies
+on: transforms of intensity traces must commute with integration the way
+the math says, and the event engine must account for every event it was
+given, exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import CarbonIntensityTrace
+from repro.simulator import SimulationEngine
+
+HOUR = 3600.0
+
+values = st.lists(st.floats(0.0, 2000.0), min_size=2, max_size=48)
+
+
+class TestTraceAlgebra:
+    @given(vals=values, k=st.floats(0.0, 5.0))
+    @settings(max_examples=60)
+    def test_scale_commutes_with_integration(self, vals, k):
+        t = CarbonIntensityTrace(np.asarray(vals), HOUR)
+        lhs = t.scale(k).integrate_intensity(0, t.duration)
+        rhs = k * t.integrate_intensity(0, t.duration)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)
+
+    @given(vals=values, dt=st.floats(0.0, 1e6))
+    @settings(max_examples=60)
+    def test_shift_translates_integration_window(self, vals, dt):
+        t = CarbonIntensityTrace(np.asarray(vals), HOUR)
+        shifted = t.shift(dt)
+        lhs = t.integrate_intensity(0, t.duration)
+        rhs = shifted.integrate_intensity(dt, dt + t.duration)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)
+
+    @given(a=values, b=values)
+    @settings(max_examples=60)
+    def test_concat_integral_is_sum(self, a, b):
+        ta = CarbonIntensityTrace(np.asarray(a), HOUR)
+        tb = CarbonIntensityTrace(np.asarray(b), HOUR,
+                                  start_time=ta.end_time)
+        both = ta.concat(tb)
+        lhs = both.integrate_intensity(0, both.duration)
+        rhs = (ta.integrate_intensity(0, ta.duration)
+               + tb.integrate_intensity(tb.start_time, tb.end_time))
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)
+
+    @given(vals=values)
+    @settings(max_examples=60)
+    def test_upsample_preserves_integral(self, vals):
+        t = CarbonIntensityTrace(np.asarray(vals), HOUR)
+        up = t.resample(HOUR / 4)
+        assert up.integrate_intensity(0, t.duration) == pytest.approx(
+            t.integrate_intensity(0, t.duration), rel=1e-9, abs=1e-6)
+
+    @given(vals=st.lists(st.floats(0.0, 2000.0), min_size=4, max_size=48)
+           .filter(lambda v: len(v) % 2 == 0))
+    @settings(max_examples=60)
+    def test_downsample_preserves_mean(self, vals):
+        t = CarbonIntensityTrace(np.asarray(vals), HOUR)
+        down = t.resample(2 * HOUR)
+        assert down.mean() == pytest.approx(t.mean(), rel=1e-9, abs=1e-9)
+
+    @given(vals=values)
+    @settings(max_examples=60)
+    def test_window_of_window_consistent(self, vals):
+        t = CarbonIntensityTrace(np.asarray(vals), HOUR)
+        if t.duration < 3 * HOUR:
+            return
+        outer = t.window(0, t.duration)
+        inner = outer.window(HOUR, 2 * HOUR)
+        np.testing.assert_array_equal(inner.values,
+                                      t.window(HOUR, 2 * HOUR).values)
+
+
+class TestEngineAccounting:
+    @given(times=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50),
+           cancel_mask=st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_every_live_event_fires_exactly_once(self, times, cancel_mask):
+        eng = SimulationEngine()
+        fired = []
+        events = []
+        for i, t in enumerate(times):
+            events.append(eng.schedule_at(t, lambda i=i: fired.append(i)))
+        cancelled = set()
+        for i, (ev, c) in enumerate(zip(events, cancel_mask)):
+            if c:
+                ev.cancel()
+                cancelled.add(i)
+        eng.run()
+        assert sorted(fired) == sorted(set(range(len(times))) - cancelled)
+        assert eng.processed == len(times) - len(
+            cancelled & set(range(len(times))))
+
+    @given(times=st.lists(st.floats(0.0, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=60)
+    def test_clock_monotone(self, times):
+        eng = SimulationEngine()
+        observed = []
+        for t in times:
+            eng.schedule_at(t, lambda: observed.append(eng.now))
+        eng.run()
+        assert observed == sorted(observed)

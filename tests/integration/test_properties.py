@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.grid import StaticProvider, SyntheticProvider
+from repro.scheduler import (
+    RJMS,
+    CarbonBackfillPolicy,
+    CarbonCheckpointPolicy,
+    EasyBackfillPolicy,
+    FCFSPolicy,
+)
+from repro.simulator import (
+    Cluster,
+    ComponentPowerModel,
+    JobState,
+    NodePowerModel,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+HOUR = 3600.0
+
+SIM_SETTINGS = settings(max_examples=8, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+
+def power_model():
+    return NodePowerModel(cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2)
+
+
+def workload(seed, n_jobs=25, suspendable=0.0):
+    cfg = WorkloadConfig(n_jobs=n_jobs, mean_interarrival_s=2000.0,
+                         max_nodes_log2=3, runtime_median_s=2 * HOUR,
+                         suspendable_fraction=suspendable)
+    return WorkloadGenerator(cfg, seed=seed).generate()
+
+
+class TestSchedulerInvariants:
+    @given(seed=st.integers(0, 1000),
+           policy_idx=st.integers(0, 2))
+    @SIM_SETTINGS
+    def test_no_job_lost_no_oversubscription(self, seed, policy_idx):
+        """For any workload and policy: every job completes exactly once,
+        the cluster bookkeeping stays consistent, and energy is positive."""
+        policy = [FCFSPolicy(), EasyBackfillPolicy(),
+                  CarbonBackfillPolicy(max_delay_s=6 * HOUR)][policy_idx]
+        cluster = Cluster(8, power_model())
+        jobs = workload(seed)
+        rjms = RJMS(cluster, jobs, policy,
+                    provider=SyntheticProvider("DE", seed=seed))
+        result = rjms.run()
+        assert len(result.completed_jobs) == len(jobs)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        cluster.check_invariants()
+        assert result.total_energy_kwh > 0
+
+    @given(seed=st.integers(0, 1000))
+    @SIM_SETTINGS
+    def test_work_conservation(self, seed):
+        """Each completed job did exactly its work: no progress invented
+        or lost across caps, queueing, and backfilling."""
+        jobs = workload(seed)
+        rjms = RJMS(Cluster(8, power_model()), jobs, EasyBackfillPolicy())
+        rjms.run()
+        for j in jobs:
+            assert j.remaining_work == pytest.approx(0.0, abs=1e-6)
+            # runtime at full speed equals work (rigid, uncapped)
+            assert j.end_time - j.start_time == pytest.approx(
+                j.work_seconds, rel=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @SIM_SETTINGS
+    def test_suspension_preserves_work(self, seed):
+        """Suspend/resume must never lose or duplicate progress."""
+        jobs = workload(seed, suspendable=1.0)
+        rjms = RJMS(Cluster(8, power_model()), jobs, EasyBackfillPolicy(),
+                    provider=SyntheticProvider("DE", seed=seed))
+        rjms.register_manager(CarbonCheckpointPolicy())
+        result = rjms.run()
+        for j in result.jobs:
+            assert j.state is JobState.COMPLETED
+            assert j.remaining_work == pytest.approx(0.0, abs=1e-6)
+            if j.n_suspensions:
+                # wall time = work + suspensions + ckpt/restore overheads
+                wall = j.end_time - j.start_time
+                assert wall >= j.work_seconds + j.suspended_seconds - 1e-6
+
+
+class TestCarbonAccountingInvariants:
+    @given(seed=st.integers(0, 1000), intensity=st.floats(1.0, 1500.0))
+    @SIM_SETTINGS
+    def test_carbon_proportional_to_intensity(self, seed, intensity):
+        """At constant intensity, total carbon == energy * intensity."""
+        jobs = workload(seed, n_jobs=15)
+        rjms = RJMS(Cluster(8, power_model()), jobs, EasyBackfillPolicy(),
+                    provider=StaticProvider(intensity))
+        result = rjms.run()
+        assert result.total_carbon_kg == pytest.approx(
+            result.total_energy_kwh * intensity / 1000.0, rel=1e-9)
+
+    @given(seed=st.integers(0, 1000))
+    @SIM_SETTINGS
+    def test_job_energy_bounded_by_cluster(self, seed):
+        jobs = workload(seed, n_jobs=15)
+        rjms = RJMS(Cluster(8, power_model()), jobs, EasyBackfillPolicy(),
+                    provider=SyntheticProvider("FR", seed=seed))
+        result = rjms.run()
+        job_energy = sum(a.energy_kwh for a in result.accounts.values())
+        job_carbon = sum(a.carbon_g for a in result.accounts.values())
+        assert job_energy <= result.total_energy_kwh + 1e-6
+        assert job_carbon / 1000.0 <= result.total_carbon_kg + 1e-6
+
+    @given(seed=st.integers(0, 300))
+    @SIM_SETTINGS
+    def test_power_trace_energy_equals_total(self, seed):
+        """The reconstructed power trace carries exactly the total energy."""
+        jobs = workload(seed, n_jobs=15)
+        rjms = RJMS(Cluster(8, power_model()), jobs, EasyBackfillPolicy())
+        result = rjms.run()
+        assert result.power_trace.energy_kwh() == pytest.approx(
+            result.total_energy_kwh, rel=1e-6)

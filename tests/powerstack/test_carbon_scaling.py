@@ -1,0 +1,117 @@
+"""Tests for carbon-aware power-budget policies (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.grid import CarbonIntensityTrace, StaticProvider, SyntheticProvider, TraceProvider
+from repro.powerstack import (
+    ForecastScalingPolicy,
+    LinearScalingPolicy,
+    StaticBudgetPolicy,
+    StepScalingPolicy,
+)
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+class TestStatic:
+    def test_constant(self):
+        p = StaticBudgetPolicy(1e6)
+        assert p.budget(StaticProvider(500.0), 0.0) == 1e6
+        assert p.budget(StaticProvider(20.0), 1e6) == 1e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticBudgetPolicy(0.0)
+
+
+class TestLinear:
+    def make(self):
+        return LinearScalingPolicy(min_watts=5e5, max_watts=1e6,
+                                   ci_low=100.0, ci_high=500.0)
+
+    def test_endpoints(self):
+        p = self.make()
+        assert p.budget(StaticProvider(50.0), 0) == 1e6
+        assert p.budget(StaticProvider(100.0), 0) == 1e6
+        assert p.budget(StaticProvider(500.0), 0) == 5e5
+        assert p.budget(StaticProvider(1000.0), 0) == 5e5
+
+    def test_midpoint(self):
+        p = self.make()
+        assert p.budget(StaticProvider(300.0), 0) == pytest.approx(7.5e5)
+
+    def test_monotone_decreasing_in_ci(self):
+        p = self.make()
+        budgets = [p.budget(StaticProvider(ci), 0)
+                   for ci in np.linspace(0, 800, 30)]
+        assert all(a >= b for a, b in zip(budgets, budgets[1:]))
+
+    def test_tracks_time_varying_signal(self):
+        trace = CarbonIntensityTrace(np.array([100.0, 500.0]), HOUR)
+        provider = TraceProvider(trace)
+        p = self.make()
+        assert p.budget(provider, 0.0) == 1e6
+        assert p.budget(provider, HOUR) == 5e5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearScalingPolicy(0.0, 1e6, 100.0, 500.0)
+        with pytest.raises(ValueError):
+            LinearScalingPolicy(1e6, 5e5, 100.0, 500.0)
+        with pytest.raises(ValueError):
+            LinearScalingPolicy(5e5, 1e6, 500.0, 100.0)
+
+
+class TestStep:
+    def make(self):
+        return StepScalingPolicy(thresholds=[200.0, 400.0],
+                                 budgets=[1e6, 7e5, 4e5])
+
+    def test_tiers(self):
+        p = self.make()
+        assert p.budget(StaticProvider(100.0), 0) == 1e6
+        assert p.budget(StaticProvider(300.0), 0) == 7e5
+        assert p.budget(StaticProvider(900.0), 0) == 4e5
+
+    def test_boundary_goes_to_lower_tier(self):
+        p = self.make()
+        # at exactly 200 the intensity has reached the threshold
+        assert p.budget(StaticProvider(200.0), 0) == 7e5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepScalingPolicy([200.0], [1e6])  # wrong budget count
+        with pytest.raises(ValueError):
+            StepScalingPolicy([400.0, 200.0], [1e6, 7e5, 4e5])
+        with pytest.raises(ValueError):
+            StepScalingPolicy([200.0], [4e5, 1e6])  # ascending budgets
+
+
+class TestForecastSmoothing:
+    def test_passthrough_without_history(self):
+        inner = LinearScalingPolicy(5e5, 1e6, 100.0, 500.0)
+        p = ForecastScalingPolicy(inner)
+        provider = SyntheticProvider("DE", seed=1)
+        # now=0: no history -> inner policy on spot value
+        assert p.budget(provider, 0.0) == inner.budget(provider, 0.0)
+
+    def test_smooths_spikes(self):
+        """A one-hour spike should barely move the smoothed budget."""
+        inner = LinearScalingPolicy(5e5, 1e6, 100.0, 500.0)
+        smooth = ForecastScalingPolicy(inner, horizon_s=6 * HOUR)
+        # history: flat 200 for 3 days, then a spike to 600 at 'now'
+        vals = np.full(73, 200.0)
+        vals[-1] = 600.0
+        provider = TraceProvider(CarbonIntensityTrace(vals, HOUR))
+        now = 72 * HOUR
+        spiky = inner.budget(provider, now)
+        smoothed = smooth.budget(provider, now)
+        assert spiky == 5e5  # inner reacts fully to the spike
+        assert smoothed > 8e5  # smoothing mostly ignores it
+
+    def test_validation(self):
+        inner = StaticBudgetPolicy(1e6)
+        with pytest.raises(ValueError):
+            ForecastScalingPolicy(inner, horizon_s=0.0)

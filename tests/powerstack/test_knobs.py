@@ -1,0 +1,32 @@
+"""Tests for cap-command clamping."""
+
+import pytest
+
+from repro.powerstack import CapCommand, clamp_cap
+
+
+class TestClampCap:
+    def test_none_passes(self, node_power_model):
+        assert clamp_cap(None, node_power_model) is None
+
+    def test_above_peak_normalizes_to_uncapped(self, node_power_model):
+        assert clamp_cap(node_power_model.peak_watts + 100.0,
+                         node_power_model) is None
+
+    def test_below_idle_clamps_up(self, node_power_model):
+        assert clamp_cap(10.0, node_power_model) == \
+            node_power_model.idle_watts
+
+    def test_in_range_passes(self, node_power_model):
+        mid = (node_power_model.idle_watts + node_power_model.peak_watts) / 2
+        assert clamp_cap(mid, node_power_model) == mid
+
+
+class TestCapCommand:
+    def test_valid(self):
+        CapCommand(1, 400.0)
+        CapCommand(1, None)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CapCommand(1, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for multi-queue configuration."""
+
+import pytest
+
+from repro.scheduler import DEFAULT_QUEUES, QueueConfig, QueueSet
+from repro.simulator import Job
+
+
+def job(job_id=1, nodes=4, estimate=3600.0, submit=0.0):
+    return Job(job_id=job_id, submit_time=submit, nodes_requested=nodes,
+               runtime_estimate=estimate, work_seconds=estimate / 2)
+
+
+class TestQueueConfig:
+    def test_admits(self):
+        q = QueueConfig("q", priority=1, max_nodes=8, max_walltime_s=7200.0)
+        assert q.admits(job(nodes=8, estimate=7200.0))
+        assert not q.admits(job(nodes=9))
+        assert not q.admits(job(estimate=7201.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueConfig("", 1, 1, 1.0)
+        with pytest.raises(ValueError):
+            QueueConfig("q", 1, 0, 1.0)
+
+
+class TestQueueSet:
+    def test_routes_to_most_restrictive_first(self):
+        qs = QueueSet()
+        assert qs.route(job(nodes=1, estimate=3600.0)).name == "test"
+        assert qs.route(job(nodes=32)).name == "general"
+        assert qs.route(job(nodes=128)).name == "large"
+
+    def test_unroutable_job_raises(self):
+        qs = QueueSet((QueueConfig("only", 1, 4, 3600.0),))
+        with pytest.raises(ValueError, match="fits no queue"):
+            qs.route(job(nodes=8))
+
+    def test_order_by_priority_then_submit(self):
+        qs = QueueSet()
+        j_test = job(job_id=1, nodes=1, estimate=1800.0, submit=100.0)
+        j_gen_early = job(job_id=2, nodes=32, submit=0.0)
+        j_gen_late = job(job_id=3, nodes=32, submit=50.0)
+        ordered = qs.order([j_gen_late, j_test, j_gen_early])
+        assert [j.job_id for j in ordered] == [1, 2, 3]
+
+    def test_duplicate_names_rejected(self):
+        q = QueueConfig("a", 1, 1, 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            QueueSet((q, q))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QueueSet(())
+
+    def test_default_queues_layered(self):
+        names = [q.name for q in DEFAULT_QUEUES]
+        assert names == ["test", "general", "large"]
+        prios = [q.priority for q in DEFAULT_QUEUES]
+        assert prios == sorted(prios, reverse=True)

@@ -1,0 +1,78 @@
+"""Tests for the checkpoint/restart cost model."""
+
+import pytest
+
+from repro.simulator import CheckpointModel, Job
+
+
+@pytest.fixture
+def job():
+    return Job(job_id=1, submit_time=0.0, nodes_requested=8,
+               runtime_estimate=86400.0, work_seconds=43200.0,
+               suspendable=True)
+
+
+class TestCosts:
+    def test_checkpoint_time(self, job):
+        m = CheckpointModel(state_gb_per_node=64.0, write_bw_gb_s=2.0,
+                            fixed_overhead_s=30.0)
+        assert m.checkpoint_seconds(job) == pytest.approx(30.0 + 32.0)
+
+    def test_restore_faster_than_checkpoint(self, job):
+        m = CheckpointModel()
+        assert m.restore_seconds(job) < m.checkpoint_seconds(job)
+
+    def test_round_trip(self, job):
+        m = CheckpointModel()
+        assert m.round_trip_seconds(job) == pytest.approx(
+            m.checkpoint_seconds(job) + m.restore_seconds(job))
+
+    def test_zero_state_still_has_overhead(self, job):
+        m = CheckpointModel(state_gb_per_node=0.0)
+        assert m.checkpoint_seconds(job) == m.fixed_overhead_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointModel(write_bw_gb_s=0.0)
+        with pytest.raises(ValueError):
+            CheckpointModel(state_gb_per_node=-1.0)
+
+
+class TestWorthwhile:
+    def test_large_gap_long_suspension_pays(self, job):
+        m = CheckpointModel()
+        assert m.worthwhile(job, high_ci=500.0, low_ci=100.0,
+                            suspend_duration_s=6 * 3600.0,
+                            node_power_w=500.0)
+
+    def test_no_gap_never_pays(self, job):
+        m = CheckpointModel()
+        assert not m.worthwhile(job, high_ci=300.0, low_ci=300.0,
+                                suspend_duration_s=6 * 3600.0,
+                                node_power_w=500.0)
+
+    def test_inverted_gap_never_pays(self, job):
+        m = CheckpointModel()
+        assert not m.worthwhile(job, high_ci=100.0, low_ci=300.0,
+                                suspend_duration_s=6 * 3600.0,
+                                node_power_w=500.0)
+
+    def test_short_suspension_does_not_pay(self, job):
+        """Moving 60s of work cannot amortize a multi-minute round trip."""
+        m = CheckpointModel(state_gb_per_node=128.0, write_bw_gb_s=0.5)
+        assert not m.worthwhile(job, high_ci=400.0, low_ci=300.0,
+                                suspend_duration_s=60.0,
+                                node_power_w=500.0)
+
+    def test_expensive_checkpoint_raises_bar(self, job):
+        cheap = CheckpointModel(state_gb_per_node=1.0)
+        pricey = CheckpointModel(state_gb_per_node=2000.0,
+                                 write_bw_gb_s=0.5)
+        kw = dict(high_ci=350.0, low_ci=300.0,
+                  suspend_duration_s=3600.0, node_power_w=500.0)
+        assert cheap.worthwhile(job, **kw)
+        assert not pricey.worthwhile(job, **kw)
+
+    def test_zero_duration(self, job):
+        assert not CheckpointModel().worthwhile(
+            job, 500.0, 100.0, 0.0, 500.0)

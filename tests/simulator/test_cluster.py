@@ -1,0 +1,148 @@
+"""Tests for cluster allocation bookkeeping and the power integrator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import Cluster, NodeState
+
+
+class TestAllocation:
+    def test_allocate_release(self, small_cluster):
+        nodes = small_cluster.allocate(1, 3, 0.9)
+        assert len(nodes) == 3
+        assert small_cluster.n_busy == 3
+        assert small_cluster.n_free == 5
+        small_cluster.release(1)
+        assert small_cluster.n_busy == 0
+        small_cluster.check_invariants()
+
+    def test_cannot_overallocate(self, small_cluster):
+        with pytest.raises(ValueError, match="free"):
+            small_cluster.allocate(1, 9, 0.9)
+
+    def test_cannot_double_allocate_job(self, small_cluster):
+        small_cluster.allocate(1, 2, 0.9)
+        with pytest.raises(ValueError, match="grow"):
+            small_cluster.allocate(1, 2, 0.9)
+
+    def test_release_unknown_job(self, small_cluster):
+        with pytest.raises(ValueError, match="no nodes"):
+            small_cluster.release(42)
+
+    def test_grow_shrink(self, small_cluster):
+        small_cluster.allocate(1, 2, 0.9)
+        small_cluster.grow(1, 3, 0.9)
+        assert len(small_cluster.nodes_of_job(1)) == 5
+        small_cluster.shrink(1, 4)
+        assert len(small_cluster.nodes_of_job(1)) == 1
+        small_cluster.check_invariants()
+
+    def test_shrink_keeps_one_node(self, small_cluster):
+        small_cluster.allocate(1, 2, 0.9)
+        with pytest.raises(ValueError):
+            small_cluster.shrink(1, 2)
+
+    def test_released_nodes_reusable(self, small_cluster):
+        small_cluster.allocate(1, 8, 0.9)
+        small_cluster.release(1)
+        small_cluster.allocate(2, 8, 0.5)
+        small_cluster.check_invariants()
+
+    @given(ops=st.lists(st.tuples(st.integers(1, 5), st.integers(1, 4)),
+                        min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_no_oversubscription_property(self, ops):
+        """Random allocate/release sequences never corrupt bookkeeping."""
+        from repro.simulator import ComponentPowerModel, NodePowerModel
+        cluster = Cluster(8, NodePowerModel(
+            cpus=(ComponentPowerModel("cpu", 50.0, 240.0),) * 2))
+        live = set()
+        for jid, n in ops:
+            if jid in live:
+                cluster.release(jid)
+                live.discard(jid)
+            elif cluster.n_free >= n:
+                cluster.allocate(jid, n, 0.8)
+                live.add(jid)
+            cluster.check_invariants()
+            assert cluster.n_busy + cluster.n_free == cluster.n_nodes
+
+
+class TestPowerAccounting:
+    def test_idle_cluster_power(self, small_cluster, node_power_model):
+        assert small_cluster.current_power() == \
+            8 * node_power_model.idle_watts
+
+    def test_busy_power_rises(self, small_cluster):
+        before = small_cluster.current_power()
+        small_cluster.allocate(1, 4, 1.0)
+        assert small_cluster.current_power() > before
+
+    def test_energy_integration_exact(self, small_cluster):
+        p0 = small_cluster.current_power()
+        small_cluster.accrue(3600.0)
+        assert small_cluster.energy_kwh == pytest.approx(p0 / 1000.0)
+
+    def test_accrue_monotone(self, small_cluster):
+        small_cluster.accrue(10.0)
+        with pytest.raises(ValueError):
+            small_cluster.accrue(5.0)
+
+    def test_segments_cover_time(self, small_cluster):
+        small_cluster.accrue(100.0)
+        small_cluster.allocate(1, 2, 0.9)
+        small_cluster.accrue(200.0)
+        segs = small_cluster.power_segments()
+        assert segs[0][:2] == (0.0, 100.0)
+        assert segs[1][:2] == (100.0, 200.0)
+        assert segs[1][2] > segs[0][2]
+
+    def test_power_trace_energy_consistent(self, small_cluster):
+        small_cluster.allocate(1, 4, 0.9)
+        small_cluster.accrue(3000.0)
+        trace = small_cluster.power_trace(step_seconds=300.0)
+        assert trace.energy_kwh() == pytest.approx(
+            small_cluster.energy_kwh, rel=1e-9)
+
+    def test_power_bounds(self, small_cluster, node_power_model):
+        assert small_cluster.min_power() == 8 * node_power_model.idle_watts
+        assert small_cluster.max_power() == 8 * node_power_model.peak_watts
+        small_cluster.allocate(1, 8, 1.0)
+        assert small_cluster.current_power() <= small_cluster.max_power()
+
+
+class TestIdlePowerOff:
+    def test_idle_nodes_draw_nothing(self, node_power_model):
+        cluster = Cluster(4, node_power_model, idle_power_off=True)
+        assert cluster.current_power() == 0.0
+
+    def test_allocation_powers_on(self, node_power_model):
+        cluster = Cluster(4, node_power_model, idle_power_off=True)
+        cluster.allocate(1, 2, 0.9)
+        assert cluster.current_power() > 0
+        cluster.release(1)
+        assert cluster.current_power() == 0.0
+
+    def test_free_counts_powered_off(self, node_power_model):
+        cluster = Cluster(4, node_power_model, idle_power_off=True)
+        assert cluster.n_free == 4
+
+
+class TestCaps:
+    def test_set_job_cap(self, small_cluster, node_power_model):
+        small_cluster.allocate(1, 2, 1.0)
+        uncapped = small_cluster.current_power()
+        perf = small_cluster.set_job_cap(1, 400.0)
+        assert 0 < perf < 1
+        assert small_cluster.current_power() < uncapped
+
+    def test_cap_cleared_on_release(self, small_cluster):
+        small_cluster.allocate(1, 2, 1.0)
+        small_cluster.set_job_cap(1, 400.0)
+        small_cluster.release(1)
+        assert all(nd.cap_watts is None for nd in small_cluster.nodes)
+
+    def test_cap_unknown_job(self, small_cluster):
+        with pytest.raises(ValueError):
+            small_cluster.set_job_cap(9, 400.0)

@@ -1,0 +1,216 @@
+"""Tests for the job model: states, speedup, and the progress integrator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import Job, JobKind, JobState, SpeedupModel
+
+
+def rigid_job(**kw):
+    defaults = dict(job_id=1, submit_time=0.0, nodes_requested=4,
+                    runtime_estimate=7200.0, work_seconds=3600.0)
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+def malleable_job(**kw):
+    defaults = dict(job_id=2, submit_time=0.0, nodes_requested=4,
+                    runtime_estimate=7200.0, work_seconds=3600.0,
+                    kind=JobKind.MALLEABLE, min_nodes=1, max_nodes=8)
+    defaults.update(kw)
+    return Job(**defaults)
+
+
+class TestSpeedupModel:
+    def test_perfect_scaling(self):
+        s = SpeedupModel(parallel_fraction=1.0)
+        assert s.speedup(8) == pytest.approx(8.0)
+        assert s.efficiency(8) == pytest.approx(1.0)
+
+    def test_amdahl_limit(self):
+        s = SpeedupModel(parallel_fraction=0.95)
+        assert s.speedup(10_000) < 1.0 / 0.05 + 1e-6
+
+    def test_serial_job(self):
+        s = SpeedupModel(parallel_fraction=0.0)
+        assert s.speedup(64) == pytest.approx(1.0)
+
+    def test_resize_factor(self):
+        s = SpeedupModel(parallel_fraction=1.0)
+        assert s.resize_factor(2, 4) == pytest.approx(0.5)
+        assert s.resize_factor(8, 4) == pytest.approx(2.0)
+
+    @given(p=st.floats(0, 1), n=st.integers(1, 1024))
+    def test_speedup_bounds(self, p, n):
+        s = SpeedupModel(p)
+        assert 1.0 - 1e-12 <= s.speedup(n) <= n + 1e-9
+
+
+class TestJobValidation:
+    def test_basic_construction(self):
+        j = rigid_job()
+        assert j.state is JobState.PENDING
+        assert j.remaining_work == 3600.0
+        assert j.min_nodes == j.max_nodes == 4
+
+    def test_rigid_cannot_have_bounds(self):
+        with pytest.raises(ValueError, match="rigid"):
+            rigid_job(min_nodes=1, max_nodes=8)
+
+    def test_overallocation_bounds(self):
+        j = rigid_job(nodes_used=2)
+        assert j.nodes_used == 2
+        with pytest.raises(ValueError):
+            rigid_job(nodes_used=5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            rigid_job(nodes_requested=0)
+        with pytest.raises(ValueError):
+            rigid_job(work_seconds=0.0)
+        with pytest.raises(ValueError):
+            rigid_job(utilization=0.0)
+
+
+class TestLifecycle:
+    def test_run_to_completion(self):
+        j = rigid_job()
+        j.start(10.0, 4)
+        assert j.state is JobState.RUNNING
+        assert j.wait_time == 10.0
+        assert j.eta(10.0) == pytest.approx(10.0 + 3600.0)
+        j.advance_to(3610.0)
+        j.complete(3610.0)
+        assert j.state is JobState.COMPLETED
+        assert j.turnaround == 3610.0
+
+    def test_cannot_complete_early(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        with pytest.raises(ValueError, match="work left"):
+            j.complete(100.0)
+
+    def test_cannot_start_twice(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        with pytest.raises(ValueError):
+            j.start(1.0, 4)
+
+    def test_cancel(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        j.cancel(100.0)
+        assert j.state is JobState.CANCELLED
+        with pytest.raises(ValueError):
+            j.cancel(200.0)
+
+    def test_wait_before_start_raises(self):
+        with pytest.raises(ValueError):
+            rigid_job().wait_time
+
+
+class TestProgressIntegrator:
+    def test_perf_factor_slows_progress(self):
+        j = rigid_job()
+        j.start(0.0, 4, perf_factor=0.5)
+        assert j.eta(0.0) == pytest.approx(7200.0)
+
+    def test_rate_change_banks_progress(self):
+        j = rigid_job()  # 3600 s work
+        j.start(0.0, 4)
+        j.set_perf_factor(1800.0, 0.5)  # half done, then half speed
+        assert j.remaining_work == pytest.approx(1800.0)
+        assert j.eta(1800.0) == pytest.approx(1800.0 + 3600.0)
+
+    def test_progress_linear_in_time(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        j.advance_to(1000.0)
+        assert j.remaining_work == pytest.approx(2600.0)
+
+    def test_zero_rate_stalls(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        j.set_perf_factor(0.0, 0.0)
+        assert j.eta(100.0) == math.inf
+
+    @given(splits=st.lists(st.floats(1.0, 1000.0), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_work_conservation_under_rate_changes(self, splits):
+        """Chopping the run into arbitrary perf-factor-1 segments never
+        changes total work done (no progress lost or duplicated)."""
+        j = rigid_job(work_seconds=sum(splits))
+        j.start(0.0, 4)
+        t = 0.0
+        for dt in splits:
+            t += dt
+            j.set_perf_factor(t, 1.0)  # forces banking at each boundary
+        assert j.remaining_work == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMalleability:
+    def test_resize_changes_rate(self):
+        j = malleable_job()  # speedup p=0.98, ref 4 nodes
+        j.start(0.0, 4)
+        r4 = j.current_rate
+        j.resize(0.0, 8)
+        assert j.current_rate > r4
+        j.resize(0.0, 1)
+        assert j.current_rate < r4
+
+    def test_resize_banks_progress(self):
+        j = malleable_job(speedup=SpeedupModel(1.0))
+        j.start(0.0, 4)
+        j.resize(1800.0, 2)  # half done at full rate
+        assert j.remaining_work == pytest.approx(1800.0)
+        # at 2 of 4 reference nodes, rate = 0.5 -> 3600 s left
+        assert j.eta(1800.0) == pytest.approx(1800.0 + 3600.0)
+
+    def test_rigid_cannot_resize(self):
+        j = rigid_job()
+        j.start(0.0, 4)
+        with pytest.raises(ValueError, match="not malleable"):
+            j.resize(0.0, 2)
+
+    def test_resize_bounds_enforced(self):
+        j = malleable_job()
+        j.start(0.0, 4)
+        with pytest.raises(ValueError):
+            j.resize(0.0, 9)
+
+
+class TestSuspendResume:
+    def test_suspend_resume_cycle(self):
+        j = rigid_job(suspendable=True)
+        j.start(0.0, 4)
+        j.advance_to(1000.0)
+        j.suspend(1000.0)
+        assert j.state is JobState.SUSPENDED
+        assert j.nodes_allocated == 0
+        assert j.n_suspensions == 1
+        j.resume(5000.0, 4)
+        assert j.state is JobState.RUNNING
+        assert j.suspended_seconds == pytest.approx(4000.0)
+        # remaining work unchanged by suspension
+        assert j.remaining_work == pytest.approx(2600.0)
+
+    def test_unsuspendable_job_refuses(self):
+        j = rigid_job(suspendable=False)
+        j.start(0.0, 4)
+        with pytest.raises(ValueError, match="not suspendable"):
+            j.suspend(1.0)
+
+    def test_cannot_resume_running(self):
+        j = rigid_job(suspendable=True)
+        j.start(0.0, 4)
+        with pytest.raises(ValueError):
+            j.resume(1.0, 4)
+
+    def test_overallocated_job_rate_uses_nodes_used(self):
+        """§3.4: surplus nodes add no progress."""
+        j = rigid_job(nodes_used=2, speedup=SpeedupModel(1.0))
+        j.start(0.0, 4)
+        # rate is relative to the 2 working nodes, so still 1.0
+        assert j.current_rate == pytest.approx(1.0)

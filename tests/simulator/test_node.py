@@ -1,0 +1,86 @@
+"""Tests for node state and the cap knob."""
+
+import pytest
+
+from repro.simulator import Node, NodeState
+
+
+@pytest.fixture
+def node(node_power_model):
+    return Node(0, node_power_model)
+
+
+class TestOccupancy:
+    def test_allocate_release(self, node):
+        node.allocate(7, 0.9)
+        assert node.state is NodeState.BUSY
+        assert node.job_id == 7
+        node.release()
+        assert node.is_free
+        assert node.job_id is None
+
+    def test_cannot_allocate_busy(self, node):
+        node.allocate(1, 0.9)
+        with pytest.raises(ValueError):
+            node.allocate(2, 0.9)
+
+    def test_cannot_release_idle(self, node):
+        with pytest.raises(ValueError):
+            node.release()
+
+    def test_utilization_validated(self, node):
+        with pytest.raises(ValueError):
+            node.allocate(1, 0.0)
+
+
+class TestPowerStates:
+    def test_power_off_on(self, node, node_power_model):
+        node.power_off()
+        assert node.current_power() == 0.0
+        node.power_on()
+        assert node.current_power() == node_power_model.idle_watts
+
+    def test_cannot_power_off_busy(self, node):
+        node.allocate(1, 0.9)
+        with pytest.raises(ValueError):
+            node.power_off()
+
+    def test_down_and_repair(self, node):
+        node.mark_down()
+        assert node.state is NodeState.DOWN
+        assert node.current_power() == 0.0
+        node.repair()
+        assert node.is_free
+
+    def test_cannot_fail_busy_node_silently(self, node):
+        node.allocate(1, 0.9)
+        with pytest.raises(ValueError, match="release"):
+            node.mark_down()
+
+
+class TestCapKnob:
+    def test_idle_power_unaffected_by_cap(self, node, node_power_model):
+        node.set_cap(node_power_model.idle_watts + 10.0)
+        assert node.current_power() == node_power_model.idle_watts
+
+    def test_busy_power_respects_cap(self, node):
+        node.allocate(1, 1.0)
+        node.set_cap(400.0)
+        assert node.current_power() <= 400.0 + 1e-9
+        assert 0 < node.perf_factor < 1
+
+    def test_clear_cap(self, node):
+        node.allocate(1, 1.0)
+        uncapped = node.current_power()
+        node.set_cap(400.0)
+        node.set_cap(None)
+        assert node.current_power() == uncapped
+        assert node.perf_factor == 1.0
+
+    def test_cap_below_idle_rejected(self, node, node_power_model):
+        with pytest.raises(ValueError, match="idle"):
+            node.set_cap(node_power_model.idle_watts - 50.0)
+
+    def test_perf_factor_uncapped(self, node):
+        node.allocate(1, 0.8)
+        assert node.perf_factor == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the DCDB-style telemetry store."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Sensor, TelemetryDB
+
+
+class TestSensors:
+    def test_register_idempotent(self):
+        db = TelemetryDB()
+        db.register(Sensor("power", "W"))
+        db.register(Sensor("power", "W"))
+        assert db.sensors() == ["power"]
+
+    def test_unit_conflict_raises(self):
+        db = TelemetryDB()
+        db.register(Sensor("power", "W"))
+        with pytest.raises(ValueError, match="unit"):
+            db.register(Sensor("power", "kW"))
+
+    def test_auto_registration(self):
+        db = TelemetryDB()
+        db.record("temp", 0.0, 42.0)
+        assert "temp" in db.sensors()
+        assert db.unit_of("temp") == ""
+
+    def test_sensor_needs_name(self):
+        with pytest.raises(ValueError):
+            Sensor("")
+
+
+class TestRecording:
+    def test_out_of_order_rejected(self):
+        db = TelemetryDB()
+        db.record("x", 10.0, 1.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            db.record("x", 5.0, 2.0)
+
+    def test_same_timestamp_allowed(self):
+        db = TelemetryDB()
+        db.record("x", 10.0, 1.0)
+        db.record("x", 10.0, 2.0)
+        _, vals = db.series("x")
+        assert list(vals) == [1.0, 2.0]
+
+
+class TestQueries:
+    @pytest.fixture
+    def db(self):
+        db = TelemetryDB()
+        for t, v in [(0, 100), (10, 200), (20, 300), (30, 400)]:
+            db.record("power", float(t), float(v))
+        return db
+
+    def test_series_window(self, db):
+        times, vals = db.series("power", 10.0, 30.0)
+        assert list(times) == [10.0, 20.0]
+        assert list(vals) == [200.0, 300.0]
+
+    def test_aggregates(self, db):
+        assert db.aggregate("power", "mean") == 250.0
+        assert db.aggregate("power", "max") == 400.0
+        assert db.aggregate("power", "min") == 100.0
+        assert db.aggregate("power", "sum") == 1000.0
+        assert db.aggregate("power", "last") == 400.0
+
+    def test_aggregate_window(self, db):
+        assert db.aggregate("power", "mean", 0.0, 20.0) == 150.0
+
+    def test_unknown_aggregation(self, db):
+        with pytest.raises(ValueError, match="aggregation"):
+            db.aggregate("power", "median")
+
+    def test_unknown_sensor_lists_known(self, db):
+        with pytest.raises(KeyError, match="known"):
+            db.aggregate("nope", "mean")
+
+    def test_empty_window_raises(self, db):
+        with pytest.raises(ValueError, match="readings"):
+            db.aggregate("power", "mean", 100.0, 200.0)
+
+    def test_integrate_zoh(self, db):
+        # 100*10 + 200*10 + 300*10 + 400*10 (last extends to t1=40)
+        assert db.integrate("power", 0.0, 40.0) == pytest.approx(10000.0)
+
+    def test_integrate_without_end(self, db):
+        # last sample contributes zero width
+        assert db.integrate("power") == pytest.approx(
+            100 * 10 + 200 * 10 + 300 * 10)
+
+    def test_integrate_partial_window(self, db):
+        assert db.integrate("power", 10.0, 25.0) == pytest.approx(
+            200 * 10 + 300 * 5)

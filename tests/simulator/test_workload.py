@@ -1,0 +1,106 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import JobKind, WorkloadConfig, WorkloadGenerator
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(estimate_padding_mean=0.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(overallocation_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_nodes_log2=5, max_nodes_log2=3)
+        with pytest.raises(ValueError):
+            WorkloadConfig(overallocation_factor=0.5)
+
+
+class TestGeneration:
+    def test_count_and_ordering(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=50), seed=0).generate()
+        assert len(jobs) == 50
+        assert [j.job_id for j in jobs] == list(range(1, 51))
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_deterministic(self):
+        a = WorkloadGenerator(WorkloadConfig(n_jobs=30), seed=5).generate()
+        b = WorkloadGenerator(WorkloadConfig(n_jobs=30), seed=5).generate()
+        assert [(j.submit_time, j.nodes_requested, j.work_seconds)
+                for j in a] == \
+               [(j.submit_time, j.nodes_requested, j.work_seconds)
+                for j in b]
+
+    def test_seed_changes_trace(self):
+        a = WorkloadGenerator(WorkloadConfig(n_jobs=30), seed=5).generate()
+        b = WorkloadGenerator(WorkloadConfig(n_jobs=30), seed=6).generate()
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+    def test_power_of_two_sizes_within_range(self):
+        cfg = WorkloadConfig(n_jobs=100, min_nodes_log2=1, max_nodes_log2=4)
+        jobs = WorkloadGenerator(cfg, seed=1).generate()
+        for j in jobs:
+            assert j.nodes_requested in (2, 4, 8, 16)
+
+    def test_estimates_bound_runtime(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=100), seed=2).generate()
+        for j in jobs:
+            assert j.runtime_estimate >= j.work_seconds * 0.999
+            assert j.runtime_estimate <= WorkloadConfig().max_runtime_s
+
+    def test_overallocation_fraction_respected(self):
+        cfg = WorkloadConfig(n_jobs=300, overallocation_fraction=0.5,
+                             overallocation_factor=2.0, min_nodes_log2=2)
+        jobs = WorkloadGenerator(cfg, seed=3).generate()
+        over = [j for j in jobs if j.nodes_used < j.nodes_requested]
+        frac = len(over) / len(jobs)
+        assert 0.35 < frac < 0.65
+        for j in over:
+            assert j.nodes_used == int(np.ceil(j.nodes_requested / 2.0))
+
+    def test_no_overallocation_when_disabled(self):
+        cfg = WorkloadConfig(n_jobs=50, overallocation_fraction=0.0)
+        jobs = WorkloadGenerator(cfg, seed=4).generate()
+        assert all(j.nodes_used == j.nodes_requested for j in jobs)
+
+    def test_malleable_fraction(self):
+        cfg = WorkloadConfig(n_jobs=200, malleable_fraction=0.4)
+        jobs = WorkloadGenerator(cfg, seed=5).generate()
+        mall = [j for j in jobs if j.kind is JobKind.MALLEABLE]
+        assert 0.25 < len(mall) / len(jobs) < 0.55
+        for j in mall:
+            assert j.min_nodes <= j.nodes_requested <= j.max_nodes
+
+    def test_suspendable_fraction(self):
+        cfg = WorkloadConfig(n_jobs=200, suspendable_fraction=1.0)
+        jobs = WorkloadGenerator(cfg, seed=6).generate()
+        assert all(j.suspendable for j in jobs)
+
+    def test_users_and_projects_assigned(self):
+        cfg = WorkloadConfig(n_jobs=100, n_users=5, n_projects=2)
+        jobs = WorkloadGenerator(cfg, seed=7).generate()
+        assert {j.user for j in jobs} <= {f"user{i}" for i in range(5)}
+        assert {j.project for j in jobs} <= {"project0", "project1"}
+
+    def test_diurnal_modulation_shapes_arrivals(self):
+        """With full modulation, daytime hours see more submissions."""
+        cfg = WorkloadConfig(n_jobs=1000, mean_interarrival_s=300.0,
+                             diurnal_amplitude=1.0)
+        jobs = WorkloadGenerator(cfg, seed=8).generate()
+        hours = np.array([(j.submit_time % 86400.0) / 3600.0 for j in jobs])
+        day = np.sum((hours >= 10) & (hours < 18))
+        night = np.sum((hours >= 0) & (hours < 8))
+        assert day > 2 * night
+
+    def test_start_time_offset(self):
+        jobs = WorkloadGenerator(WorkloadConfig(n_jobs=5),
+                                 seed=9).generate(start_time=1e6)
+        assert all(j.submit_time > 1e6 for j in jobs)

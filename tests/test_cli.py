@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 32
+        assert args.policy == "carbon"
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "random"])
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Juwels Booster" in out
+        assert "43.5%" in out
+
+    def test_fig2_subset(self, capsys):
+        assert main(["fig2", "--zones", "FI,FR"]) == 0
+        out = capsys.readouterr().out
+        assert "47.21" in out
+        assert "PL" not in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "ExaMUC" in capsys.readouterr().out
+
+    def test_carbon500(self, capsys):
+        assert main(["carbon500"]) == 0
+        assert "Frontier" in capsys.readouterr().out
+
+    def test_audit(self, capsys):
+        assert main(["audit", "Hawk", "--intensity", "420"]) == 0
+        out = capsys.readouterr().out
+        assert "Hawk" in out and "embodied share" in out
+
+    def test_audit_unknown_system(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["audit", "Deep Thought"])
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--work-hours", "100",
+                     "--objective", "deadline",
+                     "--deadline-hours", "10",
+                     "--parallel-fraction", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "10 nodes" in out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--jobs", "10", "--nodes", "8",
+                     "--zone", "FR", "--policy", "easy"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs completed: 10/10" in out
+
+    def test_forecast(self, capsys):
+        assert main(["forecast", "FR"]) == 0
+        out = capsys.readouterr().out
+        assert "seasonal-naive" in out and "RMSE" in out

@@ -1,0 +1,74 @@
+"""Tests for repro.units conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestEnergyConversions:
+    def test_joules_kwh_roundtrip(self):
+        assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+        assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+
+    def test_kwh_joules_inverse(self):
+        for x in (0.0, 1.0, 17.3, 1e9):
+            assert units.joules_to_kwh(units.kwh_to_joules(x)) == pytest.approx(x)
+
+    def test_array_input(self):
+        arr = np.array([0.0, 3.6e6, 7.2e6])
+        np.testing.assert_allclose(units.joules_to_kwh(arr), [0.0, 1.0, 2.0])
+
+
+class TestPowerConversions:
+    def test_watts_kw_mw(self):
+        assert units.watts_to_kw(1500.0) == 1.5
+        assert units.kw_to_watts(1.5) == 1500.0
+        assert units.mw_to_watts(20.0) == 20e6  # Frontier's 20 MW
+        assert units.watts_to_mw(60e6) == 60.0  # Aurora's estimated 60 MW
+
+
+class TestCarbonMass:
+    def test_gram_kg_tonne_chain(self):
+        assert units.grams_to_kg(1000.0) == 1.0
+        assert units.kg_to_tonnes(1000.0) == 1.0
+        assert units.grams_to_tonnes(1e6) == 1.0
+        assert units.tonnes_to_grams(2.0) == 2e6
+        assert units.kg_to_grams(1.0) == 1000.0
+
+
+class TestTimeConversions:
+    def test_hours_days_years(self):
+        assert units.hours_to_seconds(1.0) == 3600.0
+        assert units.seconds_to_hours(7200.0) == 2.0
+        assert units.days_to_seconds(1.0) == 86400.0
+        assert units.seconds_to_days(43200.0) == 0.5
+        assert units.years_to_seconds(1.0) == 365 * 86400.0
+        assert units.seconds_to_years(365 * 86400.0) == 1.0
+
+    def test_hours_per_year_consistency(self):
+        assert units.HOURS_PER_YEAR == 8760.0
+        assert units.SECONDS_PER_YEAR / units.SECONDS_PER_HOUR == pytest.approx(
+            units.HOURS_PER_YEAR)
+
+
+class TestEnergyAndCarbonHelpers:
+    def test_energy_kwh_basic(self):
+        # 1 kW for 1 hour = 1 kWh
+        assert units.energy_kwh(1000.0, 3600.0) == pytest.approx(1.0)
+
+    def test_operational_carbon_g(self):
+        # 1 kW for 1 h at 300 g/kWh = 300 g
+        assert units.operational_carbon_g(1000.0, 3600.0, 300.0) == \
+            pytest.approx(300.0)
+
+    def test_zero_power_zero_carbon(self):
+        assert units.operational_carbon_g(0.0, 3600.0, 500.0) == 0.0
+
+    @given(p=st.floats(0, 1e7), t=st.floats(0, 1e7), ci=st.floats(0, 2000))
+    def test_carbon_nonnegative_and_linear(self, p, t, ci):
+        c = units.operational_carbon_g(p, t, ci)
+        assert c >= 0.0
+        assert units.operational_carbon_g(2 * p, t, ci) == pytest.approx(
+            2 * c, rel=1e-9, abs=1e-9)
