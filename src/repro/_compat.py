@@ -1,0 +1,60 @@
+"""Backward-compatibility helpers for unit-suffix field renames.
+
+The dimensional-consistency linter (:mod:`repro.lint`) requires every
+quantity-bearing dataclass field to carry a unit suffix.  Renaming public
+fields (``grid_intensity`` -> ``grid_intensity_g_per_kwh``) must not break
+existing callers, so renamed dataclasses keep
+
+* a read-only property under the old name, and
+* constructor acceptance of the old keyword via
+  :func:`dataclass_kwarg_aliases`, emitting a :class:`DeprecationWarning`.
+
+Both shims are scheduled for removal once downstream callers migrate.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, Type, TypeVar
+
+__all__ = ["dataclass_kwarg_aliases"]
+
+_T = TypeVar("_T")
+
+
+def dataclass_kwarg_aliases(**aliases: str) -> Callable[[Type[_T]], Type[_T]]:
+    """Class decorator mapping deprecated ``old=new`` constructor keywords.
+
+    Usage::
+
+        @dataclass_kwarg_aliases(grid_intensity="grid_intensity_g_per_kwh")
+        @dataclass(frozen=True)
+        class FootprintModel: ...
+
+    Passing the old keyword still works but warns; passing both the old
+    and the new name for the same field is an error.
+    """
+
+    def decorate(cls: Type[_T]) -> Type[_T]:
+        original_init = cls.__init__
+
+        @functools.wraps(original_init)
+        def __init__(self, *args, **kwargs):
+            for old, new in aliases.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{cls.__name__}() got values for both "
+                            f"{old!r} (deprecated) and {new!r}")
+                    warnings.warn(
+                        f"{cls.__name__}({old}=...) is deprecated; "
+                        f"use {new}=...",
+                        DeprecationWarning, stacklevel=2)
+                    kwargs[new] = kwargs.pop(old)
+            original_init(self, *args, **kwargs)
+
+        cls.__init__ = __init__
+        return cls
+
+    return decorate

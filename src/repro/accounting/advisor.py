@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.simulator.jobs import SpeedupModel
 from repro.simulator.power import NodePowerModel
+from repro import units
 
 __all__ = ["AllocationAdvice", "recommend_allocation",
            "estimate_parallel_fraction"]
@@ -57,7 +58,7 @@ def _runtime(work_1node_s: float, speedup: SpeedupModel, n: int) -> float:
 def _energy_kwh(runtime_s: float, n: int, power_model: NodePowerModel,
                 utilization: float) -> float:
     watts = n * power_model.power(utilization)
-    return watts * runtime_s / 3.6e6
+    return watts * runtime_s / units.JOULES_PER_KWH
 
 
 def recommend_allocation(

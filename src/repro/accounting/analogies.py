@@ -11,6 +11,7 @@ annual sequestration); their role is communicative, not metrological.
 """
 
 from __future__ import annotations
+from repro import units
 
 __all__ = [
     "CAR_G_PER_KM",
@@ -52,7 +53,7 @@ def flight_km_equivalent(carbon_g: float) -> float:
 
 def tree_years_equivalent(carbon_g: float) -> float:
     """Tree-years needed to sequester the emitted CO2e."""
-    return _check(carbon_g) / (TREE_KG_PER_YEAR * 1000.0)
+    return _check(carbon_g) / (TREE_KG_PER_YEAR * units.GRAMS_PER_KG)
 
 
 def smartphone_charges_equivalent(carbon_g: float) -> float:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+from repro import units
 
 __all__ = ["ProjectAccount", "ChargeRecord", "CoreHourLedger"]
 
@@ -93,7 +94,8 @@ class CoreHourLedger:
         """Raw core-hours of an allocation."""
         if n_nodes < 0 or duration_s < 0:
             raise ValueError("nodes and duration must be non-negative")
-        return n_nodes * self.cores_per_node * duration_s / 3600.0
+        return (n_nodes * self.cores_per_node * duration_s
+                / units.SECONDS_PER_HOUR)
 
     def charge_job(self, job_id: int, project: str,
                    raw_core_hours: float,

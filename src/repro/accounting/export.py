@@ -53,7 +53,7 @@ def reports_to_csv(reports: Sequence[JobCarbonReport],
         for r in reports:
             w.writerow([r.job_id, r.user, r.project, r.n_nodes,
                         f"{r.runtime_s:.3f}", f"{r.energy_kwh:.6f}",
-                        f"{r.carbon_kg:.6f}", f"{r.mean_intensity:.3f}",
+                        f"{r.carbon_kg:.6f}", f"{r.mean_intensity_g_per_kwh:.3f}",
                         f"{r.green_fraction:.4f}",
                         f"{r.overallocation_waste_kwh:.6f}"])
     finally:
@@ -72,7 +72,7 @@ def reports_to_json(reports: Sequence[JobCarbonReport]) -> str:
             "runtime_s": r.runtime_s,
             "energy_kwh": r.energy_kwh,
             "carbon_kg": r.carbon_kg,
-            "mean_intensity": r.mean_intensity,
+            "mean_intensity": r.mean_intensity_g_per_kwh,
             "green_fraction": r.green_fraction,
             "overallocation_waste_kwh": r.overallocation_waste_kwh,
             "analogy": r.analogy,

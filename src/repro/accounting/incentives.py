@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 
 from repro.grid.green import GreenPeriod, find_green_periods
 from repro.grid.intensity import CarbonIntensityTrace
+from repro import units
 
 __all__ = ["GreenDiscountPolicy", "IncentiveResult", "charge_with_incentive"]
 
@@ -96,8 +97,8 @@ def charge_with_incentive(
     green_s = sum(p.overlaps(t0, t1)
                   for t0, t1 in run_intervals for p in periods)
     green_s = min(green_s, raw_s)  # guard against numeric overlap drift
-    raw_ch = cores * raw_s / 3600.0
-    green_ch = cores * green_s / 3600.0
+    raw_ch = cores * raw_s / units.SECONDS_PER_HOUR
+    green_ch = cores * green_s / units.SECONDS_PER_HOUR
     billed = (raw_ch - green_ch) + policy.green_rate * green_ch
     return IncentiveResult(
         raw_core_hours=raw_ch,

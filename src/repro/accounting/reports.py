@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import units
+from repro._compat import dataclass_kwarg_aliases
 from repro.accounting.analogies import describe
 from repro.grid.green import find_green_periods
 from repro.grid.providers import CarbonIntensityProvider
@@ -27,6 +28,7 @@ from repro.simulator.jobs import Job
 __all__ = ["JobCarbonReport", "build_job_report", "render_report"]
 
 
+@dataclass_kwarg_aliases(mean_intensity="mean_intensity_g_per_kwh")
 @dataclass(frozen=True)
 class JobCarbonReport:
     """The carbon profile of one completed job."""
@@ -38,7 +40,7 @@ class JobCarbonReport:
     runtime_s: float
     energy_kwh: float
     carbon_kg: float
-    mean_intensity: float
+    mean_intensity_g_per_kwh: float
     green_fraction: float
     overallocation_waste_kwh: float
     analogy: str
@@ -46,6 +48,11 @@ class JobCarbonReport:
     def __post_init__(self) -> None:
         if self.energy_kwh < 0 or self.carbon_kg < 0:
             raise ValueError("energy and carbon must be non-negative")
+
+    @property
+    def mean_intensity(self) -> float:
+        """Deprecated alias for :attr:`mean_intensity_g_per_kwh`."""
+        return self.mean_intensity_g_per_kwh
 
 
 def build_job_report(job: Job, account: JobAccount,
@@ -86,7 +93,7 @@ def build_job_report(job: Job, account: JobAccount,
         runtime_s=runtime,
         energy_kwh=account.energy_kwh,
         carbon_kg=account.carbon_g / units.GRAMS_PER_KG,
-        mean_intensity=mean_ci,
+        mean_intensity_g_per_kwh=mean_ci,
         green_fraction=green_frac,
         overallocation_waste_kwh=waste_kwh,
         analogy=describe(account.carbon_g),
@@ -98,10 +105,10 @@ def render_report(report: JobCarbonReport) -> str:
     lines = [
         f"=== Carbon report for job {report.job_id} "
         f"(user {report.user}, project {report.project}) ===",
-        f"  nodes: {report.n_nodes}   runtime: {report.runtime_s / 3600:.2f} h",
+        f"  nodes: {report.n_nodes}   runtime: {report.runtime_s / units.SECONDS_PER_HOUR:.2f} h",
         f"  energy: {report.energy_kwh:.2f} kWh   "
         f"carbon: {report.carbon_kg:.3f} kgCO2e "
-        f"(mean grid intensity {report.mean_intensity:.0f} gCO2e/kWh)",
+        f"(mean grid intensity {report.mean_intensity_g_per_kwh:.0f} gCO2e/kWh)",
         f"  share of runtime in green periods: {report.green_fraction * 100:.0f}%",
     ]
     if report.overallocation_waste_kwh > 0:

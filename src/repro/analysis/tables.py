@@ -104,7 +104,7 @@ def render_carbon500(entries: Sequence[Carbon500Entry]) -> str:
     for e in entries:
         lines.append(
             f"{e.rank:>2d} {e.name:16s} {e.perf_pflops:>9.1f} "
-            f"{e.embodied_rate_t_per_year:>9.1f} "
-            f"{e.operational_rate_t_per_year:>9.1f} "
+            f"{e.embodied_rate_tonnes_per_year:>9.1f} "
+            f"{e.operational_rate_tonnes_per_year:>9.1f} "
             f"{e.carbon_efficiency:>14.3f}")
     return "\n".join(lines)

@@ -13,6 +13,7 @@ command                what it does
 ``simulate``           run a carbon-aware scheduling simulation
 ``forecast ZONE``      rolling forecast-skill table for one zone
 ``advise``             allocation advice for a job's scaling profile
+``lint``               dimensional-consistency linter (repro.lint)
 ====================  ====================================================
 
 Everything prints to stdout; machine-readable exports go through
@@ -24,6 +25,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from repro import units
 
 __all__ = ["main", "build_parser"]
 
@@ -69,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--objective", default="efficiency",
                      choices=["efficiency", "energy", "deadline"])
     adv.add_argument("--deadline-hours", type=float, default=None)
+
+    lint = sub.add_parser(
+        "lint", help="dimensional-consistency linter (see repro.lint)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="JSON baseline of accepted finding fingerprints")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="record current findings as the baseline")
     return p
 
 
@@ -93,7 +107,8 @@ def _cmd_carbon500() -> None:
     from repro.embodied import carbon500_ranking
     from repro.grid.zones import EUROPE_JAN2023
 
-    zi = {z: p.mean_intensity for z, p in EUROPE_JAN2023.items()}
+    zi = {z: p.mean_intensity_g_per_kwh
+          for z, p in EUROPE_JAN2023.items()}
     print(render_carbon500(carbon500_ranking(zone_intensities=zi)))
 
 
@@ -109,11 +124,12 @@ def _cmd_audit(args) -> None:
             f"{', '.join(sorted(KNOWN_SYSTEMS))}")
     print(render_fig1([system]))
     b = system_embodied_breakdown(system)
-    model = FootprintModel(b["total"], system.avg_power_mw * 1e6,
+    model = FootprintModel(b["total"],
+                           system.avg_power_mw * units.WATTS_PER_MW,
                            system.lifetime_years, args.intensity)
     r = model.lifetime_report()
     print(f"lifetime footprint @ {args.intensity:.0f} g/kWh: "
-          f"{r.total_kg / 1e3:.0f} t "
+          f"{r.total_kg / units.KG_PER_TONNE:.0f} t "
           f"(embodied share {r.embodied_share:.1%})")
 
 
@@ -172,7 +188,8 @@ def _cmd_forecast(args) -> None:
             "ar4": ARForecaster(order=4),
             "ensemble": EnsembleForecaster(),
         },
-        fit_window_s=10 * 86400.0, horizon_steps=24, n_folds=6)
+        fit_window_s=10 * units.SECONDS_PER_DAY, horizon_steps=24,
+        n_folds=6)
     print(f"24h-ahead forecast skill, zone {args.zone.upper()}:")
     print(f"{'forecaster':>15s} {'MAE':>7s} {'RMSE':>7s} {'MAPE%':>7s}")
     for name, row in sorted(table.items(), key=lambda kv: kv[1]["rmse"]):
@@ -186,19 +203,30 @@ def _cmd_advise(args) -> None:
 
     pm = NodePowerModel(cpus=(ComponentPowerModel("cpu", 50, 240),) * 2)
     advice = recommend_allocation(
-        work_1node_s=args.work_hours * 3600.0,
+        work_1node_s=args.work_hours * units.SECONDS_PER_HOUR,
         speedup=SpeedupModel(args.parallel_fraction),
         power_model=pm,
         max_nodes=args.max_nodes,
         objective=args.objective,
-        deadline_s=(args.deadline_hours * 3600.0
+        deadline_s=(args.deadline_hours * units.SECONDS_PER_HOUR
                     if args.deadline_hours else None),
     )
     print(f"objective: {advice.objective}")
     print(f"recommended allocation: {advice.recommended_nodes} nodes")
-    print(f"expected runtime: {advice.runtime_s / 3600:.2f} h  "
+    print(f"expected runtime: "
+          f"{advice.runtime_s / units.SECONDS_PER_HOUR:.2f} h  "
           f"(parallel efficiency {advice.efficiency:.0%})")
     print(f"expected energy: {advice.energy_kwh:.1f} kWh")
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run
+    try:
+        return run(args.paths, fmt=args.format, baseline_path=args.baseline,
+                   write_baseline_path=args.write_baseline)
+    except BrokenPipeError:  # report piped into head/less that exited
+        sys.stderr.close()
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -219,6 +247,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_forecast(args)
     elif args.command == "advise":
         _cmd_advise(args)
+    elif args.command == "lint":
+        return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command!r}")
     return 0

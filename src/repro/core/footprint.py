@@ -26,6 +26,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro import units
+from repro._compat import dataclass_kwarg_aliases
 
 __all__ = [
     "LRZ_HYDRO_INTENSITY",
@@ -101,11 +102,12 @@ class DatacenterProfile:
             embodied_kg=self.embodied_kg_per_server,
             avg_power_watts=self.avg_power_w_per_server,
             lifetime_years=self.lifetime_years,
-            grid_intensity=ci,
+            grid_intensity_g_per_kwh=ci,
         )
         return model.lifetime_report()
 
 
+@dataclass_kwarg_aliases(grid_intensity="grid_intensity_g_per_kwh")
 @dataclass(frozen=True)
 class FootprintModel:
     """Embodied + operational footprint of a system at a site.
@@ -119,20 +121,27 @@ class FootprintModel:
         Average electrical draw (W).
     lifetime_years:
         Planned lifetime used for amortization (Table 1 values).
-    grid_intensity:
-        Mean operational grid intensity (gCO2e/kWh).
+    grid_intensity_g_per_kwh:
+        Mean operational grid intensity (gCO2e/kWh).  The keyword
+        ``grid_intensity`` is accepted as a deprecated alias.
     """
 
     embodied_kg: float
     avg_power_watts: float
     lifetime_years: float
-    grid_intensity: float
+    grid_intensity_g_per_kwh: float
 
     def __post_init__(self) -> None:
-        if self.embodied_kg < 0 or self.avg_power_watts < 0 or self.grid_intensity < 0:
+        if (self.embodied_kg < 0 or self.avg_power_watts < 0
+                or self.grid_intensity_g_per_kwh < 0):
             raise ValueError("carbon/power/intensity must be non-negative")
         if self.lifetime_years <= 0:
             raise ValueError("lifetime must be positive")
+
+    @property
+    def grid_intensity(self) -> float:
+        """Deprecated alias for :attr:`grid_intensity_g_per_kwh`."""
+        return self.grid_intensity_g_per_kwh
 
     # -- rates ----------------------------------------------------------------
 
@@ -143,7 +152,7 @@ class FootprintModel:
     def operational_rate_kg_per_hour(self) -> float:
         """Operational emission rate at average power (kg/h)."""
         kw = self.avg_power_watts / units.WATTS_PER_KW
-        return kw * self.grid_intensity / units.GRAMS_PER_KG
+        return kw * self.grid_intensity_g_per_kwh / units.GRAMS_PER_KG
 
     # -- totals ----------------------------------------------------------------
 
@@ -172,10 +181,11 @@ class FootprintModel:
             embodied_kg=self.embodied_kg,
             operational_kg=self.operational_kg(),
             lifetime_years=self.lifetime_years,
-            grid_intensity=self.grid_intensity,
+            grid_intensity_g_per_kwh=self.grid_intensity_g_per_kwh,
         )
 
 
+@dataclass_kwarg_aliases(grid_intensity="grid_intensity_g_per_kwh")
 @dataclass(frozen=True)
 class FootprintReport:
     """Result record of a lifetime footprint evaluation."""
@@ -183,7 +193,12 @@ class FootprintReport:
     embodied_kg: float
     operational_kg: float
     lifetime_years: float
-    grid_intensity: float
+    grid_intensity_g_per_kwh: float
+
+    @property
+    def grid_intensity(self) -> float:
+        """Deprecated alias for :attr:`grid_intensity_g_per_kwh`."""
+        return self.grid_intensity_g_per_kwh
 
     @property
     def total_kg(self) -> float:

@@ -16,6 +16,7 @@ shift by a third — comparable to the siting effects of §2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from repro import units
 
 __all__ = ["PUE_WARM_WATER", "PUE_AIR_COOLED", "PUE_GLOBAL_AVERAGE",
            "FacilityModel"]
@@ -75,12 +76,13 @@ class FacilityModel:
         if grid_intensity_g_per_kwh < 0:
             raise ValueError("grid intensity must be non-negative")
         return (self.facility_energy_kwh(it_energy_kwh)
-                * grid_intensity_g_per_kwh / 1000.0)
+                * grid_intensity_g_per_kwh / units.GRAMS_PER_KG)
 
     def overhead_carbon_kg(self, it_energy_kwh: float,
                            grid_intensity_g_per_kwh: float) -> float:
         """The non-IT slice of the operational carbon (kgCO2e)."""
         total = self.facility_carbon_kg(it_energy_kwh,
                                         grid_intensity_g_per_kwh)
-        it_only = it_energy_kwh * grid_intensity_g_per_kwh / 1000.0
+        it_only = (it_energy_kwh * grid_intensity_g_per_kwh
+                   / units.GRAMS_PER_KG)
         return max(0.0, total - it_only)

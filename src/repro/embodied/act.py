@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 
 from repro.embodied.fabs import FabLocation, ProcessNode, get_fab_location, get_process
+from repro import units
 
 __all__ = ["FabProcess", "die_yield", "wafer_carbon_per_cm2", "logic_die_carbon"]
 
@@ -82,7 +83,8 @@ def wafer_carbon_per_cm2(fab: FabProcess) -> float:
     applied here — it belongs to the die, not the wafer.
     """
     n = fab.node
-    ci_kg_per_kwh = fab.location.grid_intensity_g_per_kwh / 1000.0
+    ci_kg_per_kwh = (fab.location.grid_intensity_g_per_kwh
+                     / units.GRAMS_PER_KG)
     return ci_kg_per_kwh * n.epa_kwh_per_cm2 + n.gpa_kg_per_cm2 + n.mpa_kg_per_cm2
 
 

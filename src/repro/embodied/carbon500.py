@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro import units
+from repro._compat import dataclass_kwarg_aliases
 from repro.embodied.systems import (
     KNOWN_SYSTEMS,
     SystemInventory,
@@ -36,6 +37,9 @@ SYSTEM_PERF_PFLOPS: Dict[str, float] = {
 }
 
 
+@dataclass_kwarg_aliases(
+    embodied_rate_t_per_year="embodied_rate_tonnes_per_year",
+    operational_rate_t_per_year="operational_rate_tonnes_per_year")
 @dataclass(frozen=True)
 class Carbon500Entry:
     """One ranked system with its carbon-efficiency figures."""
@@ -43,17 +47,31 @@ class Carbon500Entry:
     rank: int
     name: str
     perf_pflops: float
-    embodied_rate_t_per_year: float
-    operational_rate_t_per_year: float
+    embodied_rate_tonnes_per_year: float
+    operational_rate_tonnes_per_year: float
+
+    @property
+    def total_rate_tonnes_per_year(self) -> float:
+        return (self.embodied_rate_tonnes_per_year
+                + self.operational_rate_tonnes_per_year)
+
+    # deprecated aliases (pre-linter field names)
+    @property
+    def embodied_rate_t_per_year(self) -> float:
+        return self.embodied_rate_tonnes_per_year
+
+    @property
+    def operational_rate_t_per_year(self) -> float:
+        return self.operational_rate_tonnes_per_year
 
     @property
     def total_rate_t_per_year(self) -> float:
-        return self.embodied_rate_t_per_year + self.operational_rate_t_per_year
+        return self.total_rate_tonnes_per_year
 
     @property
     def carbon_efficiency(self) -> float:
         """PFLOP/s per tCO2e/year — the ranking key (higher is better)."""
-        return self.perf_pflops / self.total_rate_t_per_year
+        return self.perf_pflops / self.total_rate_tonnes_per_year
 
 
 def _system_rates(system: SystemInventory,
@@ -61,7 +79,7 @@ def _system_rates(system: SystemInventory,
     """(embodied, operational) carbon rates in tCO2e/year."""
     embodied_kg = system_embodied_breakdown(system)["total"]
     embodied_rate = embodied_kg / system.lifetime_years / units.KG_PER_TONNE
-    kwh_per_year = (system.avg_power_mw * 1e3) * units.HOURS_PER_YEAR
+    kwh_per_year = (system.avg_power_mw * units.KW_PER_MW) * units.HOURS_PER_YEAR
     operational_rate = (kwh_per_year * grid_intensity
                         / units.GRAMS_PER_TONNE)
     return embodied_rate, operational_rate
@@ -105,7 +123,7 @@ def carbon500_ranking(
     rows.sort(key=lambda r: r[1] / (r[2] + r[3]), reverse=True)
     return [
         Carbon500Entry(rank=i + 1, name=name, perf_pflops=perf,
-                       embodied_rate_t_per_year=emb,
-                       operational_rate_t_per_year=op)
+                       embodied_rate_tonnes_per_year=emb,
+                       operational_rate_tonnes_per_year=op)
         for i, (name, perf, emb, op) in enumerate(rows)
     ]

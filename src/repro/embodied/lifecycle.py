@@ -24,6 +24,9 @@ embodied footprint, which is dominated by fab processing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro import units
+from repro._compat import dataclass_kwarg_aliases
 from typing import Dict, List, Optional
 
 __all__ = [
@@ -162,28 +165,35 @@ def reuse_vs_recycle_factor(kind: str) -> float:
     return REUSE_EFFECTIVENESS[k] / RECYCLE_RECOVERY[k]
 
 
+@dataclass_kwarg_aliases(embodied_kg_each="embodied_kg_per_unit")
 @dataclass(frozen=True)
 class ComponentLifecycle:
     """End-of-life decision support for one component population.
 
     Compares the three §2.3 options for a fleet of ``count`` components
-    each embodying ``embodied_kg_each``.
+    each embodying ``embodied_kg_per_unit`` (the keyword
+    ``embodied_kg_each`` is accepted as a deprecated alias).
     """
 
     kind: str
     count: int
-    embodied_kg_each: float
+    embodied_kg_per_unit: float
 
     def __post_init__(self) -> None:
         _check_kind(self.kind)
         if self.count < 0:
             raise ValueError("count must be non-negative")
-        if self.embodied_kg_each < 0:
+        if self.embodied_kg_per_unit < 0:
             raise ValueError("embodied carbon must be non-negative")
 
     @property
+    def embodied_kg_each(self) -> float:
+        """Deprecated alias for :attr:`embodied_kg_per_unit`."""
+        return self.embodied_kg_per_unit
+
+    @property
     def fleet_embodied_kg(self) -> float:
-        return self.count * self.embodied_kg_each
+        return self.count * self.embodied_kg_per_unit
 
     def reuse_fleet_savings(self) -> float:
         """Fleet-wide carbon avoided by reuse (kg)."""
@@ -212,5 +222,5 @@ def memory_reuse_scenario(dram_pb: float,
         raise ValueError("capacity and factor must be non-negative")
     if not 0.0 <= reuse_fraction <= 1.0:
         raise ValueError("reuse_fraction must be in [0, 1]")
-    fleet_kg = dram_pb * 1e6 * dram_kg_per_gb
+    fleet_kg = dram_pb * units.GB_PER_PB * dram_kg_per_gb
     return reuse_savings("dram", fleet_kg * reuse_fraction)

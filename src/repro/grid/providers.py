@@ -193,7 +193,7 @@ class SyntheticProvider(CarbonIntensityProvider):
         return self._ensure_horizon(t).at(t)
 
     def average_intensity_at(self, t: float) -> float:
-        mean = self.model.zone.mean_intensity
+        mean = self.model.zone.mean_intensity_g_per_kwh
         return mean + self.average_damping * (self.intensity_at(t) - mean)
 
     def history(self, t0: float, t1: float) -> CarbonIntensityTrace:

@@ -125,7 +125,8 @@ class SyntheticGridModel:
 
         z = self.zone
         rng = self._rng()
-        daily = z.mean_intensity + z.daily_sigma * self._synoptic(rng, n_days)
+        daily = (z.mean_intensity_g_per_kwh
+                 + z.daily_sigma * self._synoptic(rng, n_days))
         diurnal = z.diurnal_amplitude * diurnal_pattern(spd)
         noise = z.noise_sigma * rng.standard_normal((n_days, spd))
         noise -= noise.mean(axis=1, keepdims=True)  # exact zero daily mean

@@ -26,6 +26,8 @@ high; coal-dominated PL highest.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro._compat import dataclass_kwarg_aliases
 from typing import Dict, List
 
 __all__ = ["ZoneProfile", "EUROPE_JAN2023", "get_zone", "list_zones"]
@@ -41,7 +43,7 @@ class ZoneProfile:
         ISO-like zone code (``"DE"``, ``"FR"``, ...).
     name:
         Human-readable zone name.
-    mean_intensity:
+    mean_intensity_g_per_kwh:
         Monthly mean marginal carbon intensity, gCO2e/kWh.
     daily_sigma:
         Standard deviation of the 31 daily-mean intensities, gCO2e/kWh.
@@ -63,7 +65,7 @@ class ZoneProfile:
 
     code: str
     name: str
-    mean_intensity: float
+    mean_intensity_g_per_kwh: float
     daily_sigma: float
     diurnal_amplitude: float
     noise_sigma: float
@@ -72,14 +74,19 @@ class ZoneProfile:
     dominant_source: str
 
     def __post_init__(self) -> None:
-        if self.mean_intensity <= 0:
-            raise ValueError("mean_intensity must be positive")
+        if self.mean_intensity_g_per_kwh <= 0:
+            raise ValueError("mean_intensity_g_per_kwh must be positive")
         if self.daily_sigma < 0 or self.diurnal_amplitude < 0 or self.noise_sigma < 0:
             raise ValueError("variability parameters must be non-negative")
         if not 0.0 <= self.synoptic_corr < 1.0:
             raise ValueError("synoptic_corr must be in [0, 1)")
         if not 0.0 <= self.renewable_share <= 1.0:
             raise ValueError("renewable_share must be in [0, 1]")
+
+    @property
+    def mean_intensity(self) -> float:
+        """Deprecated alias for :attr:`mean_intensity_g_per_kwh`."""
+        return self.mean_intensity_g_per_kwh
 
     @property
     def floor_intensity(self) -> float:
@@ -128,4 +135,4 @@ def get_zone(code: str) -> ZoneProfile:
 
 def list_zones() -> List[str]:
     """Zone codes ordered by mean intensity (the Figure 2 legend order)."""
-    return sorted(EUROPE_JAN2023, key=lambda c: EUROPE_JAN2023[c].mean_intensity)
+    return sorted(EUROPE_JAN2023, key=lambda c: EUROPE_JAN2023[c].mean_intensity_g_per_kwh)

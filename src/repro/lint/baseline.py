@@ -1,0 +1,66 @@
+"""Baseline files: adopt the linter on a dirty tree without fixing it all.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`repro.lint.report.Finding.fingerprint`).  ``--baseline FILE``
+filters known findings out of the report; ``--write-baseline`` records
+the current findings so only *new* regressions fail from then on.
+Fingerprints hash the offending source line, not its number, so baselines
+survive unrelated edits above the finding.
+
+This repo's own tree is kept at zero findings (the meta-test
+``tests/lint/test_repo_clean.py`` runs without a baseline); the baseline
+mechanism exists for linting external or not-yet-converted code.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Sequence
+
+from repro.lint.report import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted set of finding fingerprints."""
+
+    fingerprints: FrozenSet[str] = frozenset()
+
+    def filter(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline (i.e. new regressions)."""
+        return [f for f in findings if f.fingerprint not in self.fingerprints]
+
+    def stale(self, findings: Sequence[Finding]) -> FrozenSet[str]:
+        """Baselined fingerprints that no longer occur (fixed findings)."""
+        seen = {f.fingerprint for f in findings}
+        return frozenset(self.fingerprints - seen)
+
+
+def load_baseline(path) -> Baseline:
+    p = pathlib.Path(path)
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {p}")
+    prints = data.get("fingerprints", [])
+    if not isinstance(prints, list) or not all(
+            isinstance(x, str) for x in prints):
+        raise ValueError(f"malformed baseline file {p}")
+    return Baseline(frozenset(prints))
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> Baseline:
+    p = pathlib.Path(path)
+    baseline = Baseline(frozenset(f.fingerprint for f in findings))
+    payload = {
+        "version": _FORMAT_VERSION,
+        "fingerprints": sorted(baseline.fingerprints),
+    }
+    p.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return baseline

@@ -1,0 +1,251 @@
+"""Unit algebra behind the linter: suffix parsing and dimension arithmetic.
+
+A :class:`Unit` is a pair of
+
+* ``dims`` — a sorted tuple of ``(base-dimension, exponent)`` pairs over
+  the base dimensions ``time``, ``energy``, ``carbon`` (mass CO2e),
+  ``area`` and ``storage``; power is the derived ``energy/time``;
+* ``scale`` — the factor converting a value expressed in this unit into
+  the coherent base units (seconds, joules, grams, mm^2, gigabytes).
+  ``scale`` is what distinguishes g from kg from tonnes: same ``dims``,
+  scales 1 / 1e3 / 1e6.
+
+The *value* algebra is the mirror image of the physical one: if ``v`` is
+a value in unit ``u`` then the physical quantity is ``q = v * u.scale``.
+Multiplying a value by a pure number ``k`` therefore *divides* the scale
+of its unit by ``k`` (the number got bigger, the unit got smaller) —
+this is how ``joules / JOULES_PER_KWH`` comes out as kWh.
+
+Names declare units through their trailing suffix, parsed right-to-left
+as ``<unit>(_per_<unit>)*``: ``energy_kwh``, ``grid_intensity_g_per_kwh``,
+``embodied_rate_kg_per_hour``.  Unknown ``_per_<word>`` denominators
+(``_kg_per_server``) are treated as plain per-item rates: the physical
+dimension is kept and the opaque word dropped, so per-item quantities
+stay comparable with their totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro import units as _units
+
+__all__ = [
+    "ATOMIC_UNITS",
+    "CONVERSION_CONSTANTS",
+    "DIMENSIONLESS",
+    "MAGIC_CONSTANTS",
+    "Unit",
+    "is_conversion_literal",
+    "parse_name",
+    "unit_of_call",
+]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A physical unit: base-dimension exponents plus a scale factor."""
+
+    dims: Tuple[Tuple[str, int], ...]
+    scale: float
+    label: str = ""
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def make(dims: Mapping[str, int], scale: float, label: str = "") -> "Unit":
+        cleaned = tuple(sorted((d, e) for d, e in dims.items() if e != 0))
+        return Unit(cleaned, float(scale), label)
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not self.dims
+
+    def same_dims(self, other: "Unit") -> bool:
+        return self.dims == other.dims
+
+    def compatible(self, other: "Unit", rel_tol: float = 1e-9) -> bool:
+        """Same dimension *and* same scale — safe to add/compare/assign."""
+        return self.same_dims(other) and math.isclose(
+            self.scale, other.scale, rel_tol=rel_tol)
+
+    def scale_ratio(self, other: "Unit") -> float:
+        """``self.scale / other.scale`` — the missing conversion factor."""
+        return self.scale / other.scale
+
+    # -- algebra --------------------------------------------------------------
+
+    def _merge(self, other: "Unit", sign: int) -> "Unit":
+        acc: Dict[str, int] = dict(self.dims)
+        for d, e in other.dims:
+            acc[d] = acc.get(d, 0) + sign * e
+        scale = self.scale * other.scale if sign > 0 else self.scale / other.scale
+        return Unit.make(acc, scale)
+
+    def mul(self, other: "Unit") -> "Unit":
+        return self._merge(other, +1)
+
+    def div(self, other: "Unit") -> "Unit":
+        return self._merge(other, -1)
+
+    def invert(self) -> "Unit":
+        return Unit.make({d: -e for d, e in self.dims}, 1.0 / self.scale)
+
+    def scaled_value(self, k: float) -> "Unit":
+        """Unit of ``value * k`` for a pure number ``k`` (scale divides)."""
+        return Unit.make(dict(self.dims), self.scale / k)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.label:
+            return self.label
+        if not self.dims:
+            return "1"
+        parts = [f"{d}^{e}" if e != 1 else d for d, e in self.dims]
+        return "*".join(parts) + f" x{self.scale:g}"
+
+
+DIMENSIONLESS = Unit.make({}, 1.0, "1")
+
+# base dimensions
+_T, _E, _C, _A, _S = "time", "energy", "carbon", "area", "storage"
+
+#: atomic suffix token -> Unit.  Deliberately omits ambiguous short tokens
+#: (``min`` = minimum, ``t`` = time/tonne, ``j`` = loop index).
+ATOMIC_UNITS: Dict[str, Unit] = {}
+
+
+def _register(dims: Mapping[str, int], scale: float, label: str, *tokens: str) -> None:
+    u = Unit.make(dims, scale, label)
+    for tok in tokens:
+        ATOMIC_UNITS[tok] = u
+
+
+_register({_T: 1}, 1.0, "s", "s", "sec", "secs", "second", "seconds")
+_register({_T: 1}, _units.SECONDS_PER_MINUTE, "min", "minute", "minutes")
+_register({_T: 1}, _units.SECONDS_PER_HOUR, "h", "h", "hr", "hrs", "hour", "hours")
+_register({_T: 1}, _units.SECONDS_PER_DAY, "day", "day", "days")
+_register({_T: 1}, _units.SECONDS_PER_YEAR, "year", "yr", "year", "years")
+_register({_E: 1}, 1.0, "J", "joule", "joules")
+_register({_E: 1}, _units.SECONDS_PER_HOUR, "Wh", "wh")
+_register({_E: 1}, _units.JOULES_PER_KWH, "kWh", "kwh")
+_register({_E: 1}, _units.JOULES_PER_KWH * 1e3, "MWh", "mwh")
+_register({_E: 1}, _units.JOULES_PER_KWH * 1e6, "GWh", "gwh")
+_register({_E: 1, _T: -1}, 1.0, "W", "w", "watt", "watts")
+_register({_E: 1, _T: -1}, _units.WATTS_PER_KW, "kW", "kw")
+_register({_E: 1, _T: -1}, _units.WATTS_PER_MW, "MW", "mw")
+_register({_E: 1, _T: -1}, 1e9, "GW", "gw")
+_register({_C: 1}, 1.0, "g", "g", "gram", "grams")
+_register({_C: 1}, _units.GRAMS_PER_KG, "kg", "kg")
+_register({_C: 1}, _units.GRAMS_PER_TONNE, "t", "tonne", "tonnes")
+_register({_A: 1}, 1.0, "mm2", "mm2")
+_register({_A: 1}, 100.0, "cm2", "cm2")
+_register({_A: 1}, 1e6, "m2", "m2")
+_register({_S: 1}, 1.0, "GB", "gb")
+_register({_S: 1}, 1e3, "TB", "tb")
+_register({_S: 1}, 1e6, "PB", "pb")
+
+#: named conversion constants from :mod:`repro.units`, usable by name in
+#: inference (they are pure numbers in the value algebra).
+CONVERSION_CONSTANTS: Dict[str, float] = {
+    name: value
+    for name, value in vars(_units).items()
+    if name.isupper() and isinstance(value, float)
+}
+
+#: literal value -> named constants it shadows, for the ``magic-constant``
+#: rule.  The bool says whether the literal is unambiguous enough to flag
+#: even when the other operand's unit is unknown (time-ish constants and
+#: 3.6e6 essentially never mean anything else in this codebase; 1000/1e6
+#: are only flagged when a united operand shows a conversion is happening).
+MAGIC_CONSTANTS: Dict[float, Tuple[Tuple[str, ...], bool]] = {
+    _units.JOULES_PER_KWH: (("units.JOULES_PER_KWH",), True),
+    _units.SECONDS_PER_HOUR: (("units.SECONDS_PER_HOUR",), True),
+    _units.SECONDS_PER_DAY: (("units.SECONDS_PER_DAY",), True),
+    _units.SECONDS_PER_YEAR: (("units.SECONDS_PER_YEAR",), True),
+    _units.HOURS_PER_YEAR: (("units.HOURS_PER_YEAR",), True),
+    1000.0: (("units.WH_PER_KWH", "units.GRAMS_PER_KG",
+              "units.WATTS_PER_KW", "units.KG_PER_TONNE"), False),
+    1e6: (("units.WATTS_PER_MW", "units.GRAMS_PER_TONNE"), False),
+}
+
+
+def is_conversion_literal(value: float) -> bool:
+    """Whether a bare literal is unambiguously a unit-conversion factor.
+
+    Only these literals (and the named ``repro.units`` constants) change a
+    unit's *scale* during inference; any other numeric factor — ``1.15``
+    interposer overhead, ``0.85`` utilization — is an engineering scalar
+    that preserves the unit of what it multiplies.
+    """
+    try:
+        entry = MAGIC_CONSTANTS.get(float(value))
+    except (TypeError, OverflowError):
+        return False
+    return entry is not None and entry[1]
+
+
+def parse_name(name: str) -> Optional[Unit]:
+    """Infer the declared unit of ``name`` from its trailing suffix.
+
+    Returns the unit of the longest valid trailing chain
+    ``<unit>(_per_<unit-or-word>)*``, or ``None`` if the name declares no
+    unit.  Examples::
+
+        parse_name("energy_kwh")                 -> kWh
+        parse_name("grid_intensity_g_per_kwh")   -> g/kWh
+        parse_name("embodied_kg_per_server")     -> kg (opaque /server dropped)
+        parse_name("renewable_share")            -> None
+    """
+    tokens = name.lower().split("_")
+    for start in range(len(tokens)):
+        # a chain must not begin mid-way through a longer one: reject
+        # starts right after "per" (ops_per_s is not seconds) or after
+        # another unit token (write_bw_gb_s is not seconds either).
+        if start > 0 and (tokens[start - 1] == "per"
+                          or tokens[start - 1] in ATOMIC_UNITS):
+            continue
+        unit = _parse_chain(tokens[start:])
+        if unit is not None:
+            return unit
+    return None
+
+
+def _parse_chain(tokens) -> Optional[Unit]:
+    segments: list = [[]]
+    for tok in tokens:
+        if tok == "per":
+            segments.append([])
+        else:
+            segments[-1].append(tok)
+    if any(len(seg) != 1 for seg in segments):
+        return None
+    head = segments[0][0]
+    unit = ATOMIC_UNITS.get(head)
+    if unit is None:
+        return None
+    for (denom,) in segments[1:]:
+        du = ATOMIC_UNITS.get(denom)
+        if du is not None:
+            unit = unit.div(du)
+        elif denom.isalnum():
+            # opaque per-item denominator (per_server, per_node, per_job):
+            # keep the physical dimension, drop the item word.
+            continue
+        else:
+            return None
+    return unit
+
+
+def unit_of_call(func_name: str) -> Optional[Unit]:
+    """Unit returned by a call, inferred from the callee's name.
+
+    Covers both the ``x_to_y`` converters of :mod:`repro.units`
+    (``joules_to_kwh`` -> kWh) and any function/method whose name carries
+    a unit suffix (``operational_kg`` -> kg, ``energy_kwh`` -> kWh),
+    because ``parse_name`` keys on the trailing chain either way.
+    """
+    return parse_name(func_name)

@@ -1,0 +1,380 @@
+"""AST traversal and unit inference for the linter.
+
+:func:`lint_source` parses one module and walks it with
+:class:`_FileLinter`, which
+
+* infers a :class:`~repro.lint.dimensions.Unit` (or a known pure number,
+  or "unknown") for every expression bottom-up — names and attributes
+  via their suffix, calls via the callee's suffix, ``units.X`` constants
+  by value, literals as pure numbers, ``*``/``/`` by unit algebra;
+* hands the inferred units to the decision functions in
+  :mod:`repro.lint.rules` at each additive/compare/assign/call site.
+
+Inference is deliberately conservative: any operand it cannot pin down
+poisons the whole expression to "unknown", which never produces a
+finding.  False negatives are acceptable; false positives train people
+to sprinkle suppressions.
+
+Suppression syntax (checked on the physical line of the finding and on
+the last line of the offending statement)::
+
+    x_g = mass_kg  # repro-lint: ignore[unit-assign] -- legacy alias
+    y = weird()    # repro-lint: ignore
+
+A first-line (or post-docstring) ``# repro-lint: skip-file`` skips the
+whole module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.lint import rules
+from repro.lint.dimensions import (
+    CONVERSION_CONSTANTS,
+    Unit,
+    is_conversion_literal,
+    parse_name,
+    unit_of_call,
+)
+from repro.lint.report import Finding
+
+__all__ = ["lint_file", "lint_paths", "lint_source"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[a-z\-,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+# inference results: a Unit, a known pure number (value, is-conversion), or
+# None (unknown).  Only conversion scalars — named units.* constants and the
+# unambiguous literals of ``is_conversion_literal`` — change a unit's scale
+# when multiplied in; other numbers (0.85 utilization, 1.15 overhead) are
+# engineering factors that preserve the unit.
+_Scalar = Tuple[str, float, bool]
+_Inferred = Union[Unit, _Scalar, None]
+
+_DATACLASS_NAMES = {"dataclass", "dataclasses.dataclass"}
+_TRANSPARENT_CALLS = {"min", "max", "abs", "float", "round", "sum", "mean"}
+
+
+def _is_scalar(x: _Inferred) -> bool:
+    return isinstance(x, tuple) and x[0] == "scalar"
+
+
+def _scalar(value: float, conversion: bool = False) -> _Scalar:
+    return ("scalar", value, conversion)
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _decorator_name(dec: ast.expr) -> str:
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    if isinstance(dec, ast.Attribute):
+        base = dec.value
+        if isinstance(base, ast.Name):
+            return f"{base.id}.{dec.attr}"
+        return dec.attr
+    if isinstance(dec, ast.Name):
+        return dec.id
+    return ""
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self._func_unit_stack: List[Optional[Unit]] = []
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def _suppressed(self, node: ast.AST, code: str) -> bool:
+        for lineno in {getattr(node, "lineno", 0),
+                       getattr(node, "end_lineno", 0) or 0}:
+            if not 1 <= lineno <= len(self.lines):
+                continue
+            m = _SUPPRESS_RE.search(self.lines[lineno - 1])
+            if m is None:
+                continue
+            codes = m.group("codes")
+            if codes is None:
+                return True
+            if code in {c.strip() for c in codes.split(",")}:
+                return True
+        return False
+
+    def _emit(self, node: ast.AST, hit: rules.RuleHit) -> None:
+        if hit is None:
+            return
+        code, message = hit
+        if self._suppressed(node, code):
+            return
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=code,
+            message=message,
+            snippet=self._snippet(node),
+        ))
+
+    # -- inference ------------------------------------------------------------
+
+    def infer(self, node: ast.expr) -> _Inferred:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                    node.value, (int, float)):
+                return None
+            v = float(node.value)
+            return _scalar(v, is_conversion_literal(v))
+        if isinstance(node, ast.Name):
+            if node.id in CONVERSION_CONSTANTS:
+                return _scalar(CONVERSION_CONSTANTS[node.id], True)
+            return parse_name(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr in CONVERSION_CONSTANTS:
+                return _scalar(CONVERSION_CONSTANTS[node.attr], True)
+            return parse_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            # trace_kwh[i] carries the unit of trace_kwh
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp) and isinstance(
+                node.op, (ast.USub, ast.UAdd)):
+            inner = self.infer(node.operand)
+            if _is_scalar(inner) and isinstance(node.op, ast.USub):
+                return _scalar(-inner[1], inner[2])
+            return inner
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            a, b = self.infer(node.body), self.infer(node.orelse)
+            if isinstance(a, Unit) and isinstance(b, Unit) and a.compatible(b):
+                return a
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        return None
+
+    def _infer_call(self, node: ast.Call) -> _Inferred:
+        name = _call_name(node.func)
+        if name in _TRANSPARENT_CALLS:
+            args = [self.infer(a) for a in node.args]
+            units = [a for a in args if isinstance(a, Unit)]
+            if units and all(isinstance(a, Unit) and units[0].compatible(a)
+                             for a in args):
+                return units[0]
+            return None
+        return unit_of_call(name)
+
+    def _infer_binop(self, node: ast.BinOp) -> _Inferred:
+        left, right = self.infer(node.left), self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if isinstance(left, Unit) and isinstance(right, Unit):
+                return left if left.compatible(right) else None
+            if isinstance(left, Unit):
+                return left
+            if isinstance(right, Unit):
+                return right
+            if _is_scalar(left) and _is_scalar(right):
+                value = (left[1] + right[1]
+                         if isinstance(node.op, ast.Add)
+                         else left[1] - right[1])
+                return _scalar(value)
+            return None
+        if isinstance(node.op, ast.Mult):
+            if isinstance(left, Unit) and isinstance(right, Unit):
+                return left.mul(right)
+            if isinstance(left, Unit) and _is_scalar(right):
+                return self._scale_unit(left, right, invert=False)
+            if _is_scalar(left) and isinstance(right, Unit):
+                return self._scale_unit(right, left, invert=False)
+            if _is_scalar(left) and _is_scalar(right):
+                return _scalar(left[1] * right[1], left[2] or right[2])
+            return None
+        if isinstance(node.op, ast.Div):
+            if isinstance(left, Unit) and isinstance(right, Unit):
+                return left.div(right)
+            if isinstance(left, Unit) and _is_scalar(right):
+                return self._scale_unit(left, right, invert=True)
+            if _is_scalar(left) and isinstance(right, Unit):
+                return right.invert()
+            if _is_scalar(left) and _is_scalar(right) and right[1]:
+                return _scalar(left[1] / right[1], left[2] or right[2])
+            return None
+        return None
+
+    @staticmethod
+    def _scale_unit(unit: Unit, scalar: _Scalar,
+                    *, invert: bool) -> Optional[Unit]:
+        _, value, conversion = scalar
+        if not value:
+            return None
+        if not conversion:
+            return unit  # engineering factor: same quantity, same unit
+        return unit.scaled_value(1.0 / value if invert else value)
+
+    @staticmethod
+    def _as_unit(x: _Inferred) -> Optional[Unit]:
+        return x if isinstance(x, Unit) else None
+
+    # -- rule sites -----------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_dataclass = any(
+            _decorator_name(d) in _DATACLASS_NAMES
+            for d in node.decorator_list)
+        if is_dataclass:
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name):
+                    try:
+                        ann = ast.unparse(stmt.annotation)
+                    except Exception:  # pragma: no cover - defensive
+                        ann = ""
+                    self._emit(stmt, rules.check_dataclass_field(
+                        stmt.target.id, ann))
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._emit(node, rules.check_additive(
+                op,
+                self._as_unit(self.infer(node.left)),
+                self._as_unit(self.infer(node.right))))
+        elif isinstance(node.op, (ast.Mult, ast.Div)):
+            self._check_magic(node)
+        self.generic_visit(node)
+
+    def _check_magic(self, node: ast.BinOp) -> None:
+        for lit, other in ((node.left, node.right), (node.right, node.left)):
+            if not (isinstance(lit, ast.Constant)
+                    and isinstance(lit.value, (int, float))
+                    and not isinstance(lit.value, bool)):
+                continue
+            self._emit(lit, rules.check_magic_literal(
+                float(lit.value), self._as_unit(self.infer(other))))
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for a, b in zip(operands, operands[1:]):
+            self._emit(node, rules.check_additive(
+                "comparison",
+                self._as_unit(self.infer(a)),
+                self._as_unit(self.infer(b))))
+        self.generic_visit(node)
+
+    def _target_name(self, target: ast.expr) -> str:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return ""
+
+    def _check_bind(self, node: ast.AST, name: str,
+                    value: ast.expr) -> None:
+        if not name:
+            return
+        target_unit = parse_name(name)
+        if target_unit is None:
+            return
+        derived = isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.Mult, ast.Div))
+        self._emit(node, rules.check_assignment(
+            name, target_unit, self._as_unit(self.infer(value)),
+            derived=derived))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_bind(node, self._target_name(target), node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_bind(node, self._target_name(node.target), node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_bind(node, self._target_name(node.target), node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg:
+                self._check_bind(kw, kw.arg, kw.value)
+        self.generic_visit(node)
+
+    def _visit_func(self, node) -> None:
+        self._func_unit_stack.append(unit_of_call(node.name))
+        self.generic_visit(node)
+        self._func_unit_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._func_unit_stack.append(None)
+        self.generic_visit(node)
+        self._func_unit_stack.pop()
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._func_unit_stack:
+            fu = self._func_unit_stack[-1]
+            if fu is not None:
+                derived = isinstance(node.value, ast.BinOp) and isinstance(
+                    node.value.op, (ast.Mult, ast.Div))
+                self._emit(node, rules.check_assignment(
+                    "<return>", fu, self._as_unit(self.infer(node.value)),
+                    derived=derived))
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    for line in source.splitlines()[:20]:
+        if _SKIP_FILE_RE.search(line):
+            return []
+    tree = ast.parse(source, filename=path)
+    linter = _FileLinter(path, source)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_file(path) -> List[Finding]:
+    import pathlib
+
+    p = pathlib.Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: Sequence) -> List[Finding]:
+    """Lint files and/or directory trees (``*.py``, sorted, recursive)."""
+    import pathlib
+
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    return findings

@@ -1,0 +1,73 @@
+"""Finding records and text/JSON rendering for the linter."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["Finding", "render_json", "render_text", "summary_line"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnostic, anchored to a file position.
+
+    ``fingerprint`` identifies the finding stably across unrelated edits
+    (path + rule + the normalized source line, not the line *number*), so
+    baselines survive code moving around above the offending line.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        h = hashlib.sha256()
+        h.update(self.path.encode())
+        h.update(b"\0")
+        h.update(self.rule.encode())
+        h.update(b"\0")
+        h.update(" ".join(self.snippet.split()).encode())
+        return h.hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def summary_line(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro-lint: clean (0 findings)"
+    by_rule: dict = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    parts = ", ".join(f"{n} {r}" for r, n in sorted(by_rule.items()))
+    noun = "finding" if len(findings) == 1 else "findings"
+    return f"repro-lint: {len(findings)} {noun} ({parts})"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines: List[str] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        lines.append(f"{f.location()}: [{f.rule}] {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet.strip()}")
+    lines.append(summary_line(findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [
+            {**asdict(f), "fingerprint": f.fingerprint}
+            for f in sorted(findings,
+                            key=lambda f: (f.path, f.line, f.col, f.rule))
+        ],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

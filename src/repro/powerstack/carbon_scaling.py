@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.grid.forecast import Forecaster, SeasonalNaiveForecaster
 from repro.grid.providers import CarbonIntensityProvider
+from repro import units
 
 __all__ = [
     "PowerBudgetPolicy",
@@ -128,8 +129,8 @@ class ForecastScalingPolicy(PowerBudgetPolicy):
 
     def __init__(self, inner: PowerBudgetPolicy,
                  forecaster: Optional[Forecaster] = None,
-                 horizon_s: float = 4 * 3600.0,
-                 history_s: float = 3 * 86400.0) -> None:
+                 horizon_s: float = 4 * units.SECONDS_PER_HOUR,
+                 history_s: float = 3 * units.SECONDS_PER_DAY) -> None:
         if horizon_s <= 0 or history_s <= 0:
             raise ValueError("horizon and history must be positive")
         self.inner = inner
@@ -139,7 +140,7 @@ class ForecastScalingPolicy(PowerBudgetPolicy):
 
     def budget(self, provider: CarbonIntensityProvider, now: float) -> float:
         t0 = max(0.0, now - self.history_s)
-        if now - t0 < 2 * 3600.0:
+        if now - t0 < 2 * units.SECONDS_PER_HOUR:
             return self.inner.budget(provider, now)
         history = provider.history(t0, now)
         self.forecaster.fit(history)

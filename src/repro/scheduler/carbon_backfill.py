@@ -31,6 +31,7 @@ from repro.grid.forecast import Forecaster, SeasonalNaiveForecaster
 from repro.scheduler.backfill import EasyBackfillPolicy
 from repro.scheduler.rjms import SchedulerPolicy, SchedulingContext, StartDecision
 from repro.simulator.jobs import Job
+from repro import units
 
 __all__ = ["CarbonBackfillPolicy"]
 
@@ -57,9 +58,9 @@ class CarbonBackfillPolicy(SchedulerPolicy):
     """
 
     def __init__(self, forecaster: Optional[Forecaster] = None,
-                 max_delay_s: float = 12 * 3600.0,
+                 max_delay_s: float = 12 * units.SECONDS_PER_HOUR,
                  min_saving_fraction: float = 0.05,
-                 history_s: float = 7 * 86400.0,
+                 history_s: float = 7 * units.SECONDS_PER_DAY,
                  min_job_seconds: float = 900.0) -> None:
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
@@ -79,7 +80,7 @@ class CarbonBackfillPolicy(SchedulerPolicy):
     def _forecast(self, ctx: SchedulingContext, horizon_s: float):
         """Forecast trace covering [now, now + horizon]; None if infeasible."""
         t0 = max(0.0, ctx.now - self.history_s)
-        if ctx.now - t0 < 2 * 3600.0:
+        if ctx.now - t0 < 2 * units.SECONDS_PER_HOUR:
             return None  # not enough history to say anything
         try:
             history = ctx.provider.history(t0, ctx.now)

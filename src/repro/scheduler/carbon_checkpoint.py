@@ -26,6 +26,7 @@ from typing import Dict, List
 
 from repro.scheduler.rjms import RJMS
 from repro.simulator.jobs import Job, JobState
+from repro import units
 
 __all__ = ["CarbonCheckpointPolicy"]
 
@@ -53,10 +54,10 @@ class CarbonCheckpointPolicy:
 
     def __init__(self, suspend_percentile: float = 80.0,
                  resume_percentile: float = 50.0,
-                 history_s: float = 7 * 86400.0,
+                 history_s: float = 7 * units.SECONDS_PER_DAY,
                  max_suspensions_per_job: int = 4,
                  min_remaining_s: float = 1800.0,
-                 max_suspended_s: float = 24 * 3600.0) -> None:
+                 max_suspended_s: float = 24 * units.SECONDS_PER_HOUR) -> None:
         if not 0 < resume_percentile < suspend_percentile < 100:
             raise ValueError(
                 "need 0 < resume_percentile < suspend_percentile < 100")
@@ -78,7 +79,7 @@ class CarbonCheckpointPolicy:
 
     def _thresholds(self, rjms: RJMS) -> tuple[float, float] | None:
         t0 = max(0.0, rjms.now - self.history_s)
-        if rjms.now - t0 < 6 * 3600.0:
+        if rjms.now - t0 < 6 * units.SECONDS_PER_HOUR:
             return None  # not enough history
         hist = rjms.provider.history(t0, rjms.now)
         return (hist.percentile(self.suspend_percentile),
@@ -126,7 +127,7 @@ class CarbonCheckpointPolicy:
 
     def _expected_wait(self, rjms: RJMS) -> float:
         """Crude expected suspension length: half a day (one CI cycle)."""
-        return 12 * 3600.0
+        return 12 * units.SECONDS_PER_HOUR
 
     @staticmethod
     def _time_suspended(rjms: RJMS, job: Job) -> float:

@@ -30,6 +30,7 @@ from repro.grid.providers import CarbonIntensityProvider
 from repro.scheduler.rjms import RJMS, SchedulerPolicy, SimulationResult
 from repro.simulator.cluster import Cluster
 from repro.simulator.jobs import Job
+from repro import units
 
 __all__ = ["Site", "FederationResult", "route_jobs", "run_federation"]
 
@@ -123,7 +124,8 @@ def route_jobs(jobs: Sequence[Job], sites: Sequence[Site],
             t1 = t0 + max(job.runtime_estimate, 3600.0)
             ci = site.provider.history(t0, t1).mean_over(t0, t1)
             # pressure = hours of backlog ahead of this job
-            pressure = backlog_node_s[site.name] / (site.n_nodes * 3600.0)
+            pressure = (backlog_node_s[site.name]
+                        / (site.n_nodes * units.SECONDS_PER_HOUR))
             score = ci + queue_penalty_g_per_kwh * pressure
             if best_score is None or score < best_score:
                 best_name, best_score = site.name, score

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.simulator.jobs import Job
+from repro import units
 
 __all__ = ["QueueConfig", "QueueSet", "DEFAULT_QUEUES"]
 
@@ -50,11 +51,11 @@ class QueueConfig:
 
 #: A typical three-queue site layout (test / general / large).
 DEFAULT_QUEUES: Tuple[QueueConfig, ...] = (
-    QueueConfig("test", priority=100, max_nodes=2, max_walltime_s=2 * 3600.0),
+    QueueConfig("test", priority=100, max_nodes=2, max_walltime_s=2 * units.SECONDS_PER_HOUR),
     QueueConfig("general", priority=50, max_nodes=64,
-                max_walltime_s=48 * 3600.0),
+                max_walltime_s=48 * units.SECONDS_PER_HOUR),
     QueueConfig("large", priority=10, max_nodes=4096,
-                max_walltime_s=96 * 3600.0),
+                max_walltime_s=96 * units.SECONDS_PER_HOUR),
 )
 
 

@@ -145,10 +145,10 @@ class SimulationResult:
 
     def summary(self) -> str:
         return (f"jobs completed: {len(self.completed_jobs)}/{len(self.jobs)}  "
-                f"makespan: {self.makespan_s / 3600:.1f} h  "
+                f"makespan: {self.makespan_s / units.SECONDS_PER_HOUR:.1f} h  "
                 f"energy: {self.total_energy_kwh:.0f} kWh  "
                 f"carbon: {self.total_carbon_kg:.1f} kg  "
-                f"mean wait: {self.mean_wait_s / 3600:.2f} h")
+                f"mean wait: {self.mean_wait_s / units.SECONDS_PER_HOUR:.2f} h")
 
 
 class RJMS:
@@ -413,7 +413,7 @@ class RJMS:
     # -- lifecycle: node failures (fail-in-place, paper ref [40]) -------------------
 
     def fail_node(self, node_id: int,
-                  repair_seconds: float = 4 * 3600.0) -> None:
+                  repair_seconds: float = 4 * units.SECONDS_PER_HOUR) -> None:
         """Fail a node; the occupying job (if any) dies and is requeued.
 
         Failure semantics follow standard MPI practice: losing one node

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.simulator.jobs import Job
+from repro import units
 
 __all__ = ["CheckpointModel", "CheckpointState"]
 
@@ -86,9 +87,9 @@ class CheckpointModel:
         if high_ci <= low_ci:
             return False
         kwh_shifted = (node_power_w * job.nodes_requested
-                       * suspend_duration_s / 3.6e6)
+                       * suspend_duration_s / units.JOULES_PER_KWH)
         saved_g = kwh_shifted * (high_ci - low_ci)
         kwh_overhead = (node_power_w * job.nodes_requested
-                        * self.round_trip_seconds(job) / 3.6e6)
+                        * self.round_trip_seconds(job) / units.JOULES_PER_KWH)
         cost_g = kwh_overhead * high_ci
         return saved_g > cost_g

@@ -21,6 +21,7 @@ from typing import List
 import numpy as np
 
 from repro.simulator.node import NodeState
+from repro import units
 
 __all__ = ["FailureInjector"]
 
@@ -41,7 +42,8 @@ class FailureInjector:
         Safety cap for tests (0 = unlimited).
     """
 
-    def __init__(self, mtbf_seconds: float, repair_seconds: float = 4 * 3600.0,
+    def __init__(self, mtbf_seconds: float,
+                 repair_seconds: float = 4 * units.SECONDS_PER_HOUR,
                  seed: int = 0, max_failures: int = 0) -> None:
         if mtbf_seconds <= 0:
             raise ValueError("MTBF must be positive")

@@ -47,6 +47,12 @@ KG_PER_TONNE: float = 1_000.0
 
 WATTS_PER_KW: float = 1_000.0
 WATTS_PER_MW: float = 1e6
+KW_PER_MW: float = 1_000.0
+
+# --- storage ---------------------------------------------------------------
+
+#: decimal petabytes -> gigabytes, the convention of quoted capacities
+GB_PER_PB: float = 1e6
 
 
 def joules_to_kwh(joules):

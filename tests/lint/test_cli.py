@@ -1,0 +1,93 @@
+"""End-to-end tests of the linter CLI: exit codes, formats, baseline."""
+
+import io
+import json
+
+import pytest
+
+from repro.lint.cli import main, run
+
+BAD = "carbon_g = embodied_kg\n"
+GOOD = "carbon_g = kg_to_grams(embodied_kg)\n"
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    p = tmp_path / "bad.py"
+    p.write_text(BAD)
+    return p
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    p = tmp_path / "good.py"
+    p.write_text(GOOD)
+    return p
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, good_file):
+        out = io.StringIO()
+        assert run([str(good_file)], stream=out) == 0
+        assert "clean (0 findings)" in out.getvalue()
+
+    def test_findings_exit_one(self, bad_file):
+        out = io.StringIO()
+        assert run([str(bad_file)], stream=out) == 1
+        assert "[unit-assign]" in out.getvalue()
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert run([str(tmp_path / "nope.py")], stream=io.StringIO()) == 2
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        p = tmp_path / "broken.py"
+        p.write_text("def f(:\n")
+        assert run([str(p)], stream=io.StringIO()) == 2
+
+    def test_directory_is_walked(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(BAD)
+        out = io.StringIO()
+        assert run([str(tmp_path)], stream=out) == 1
+
+
+class TestJsonFormat:
+    def test_json_report_shape(self, bad_file):
+        out = io.StringIO()
+        run([str(bad_file)], fmt="json", stream=out)
+        doc = json.loads(out.getvalue())
+        assert doc["count"] == 1
+        (f,) = doc["findings"]
+        assert f["rule"] == "unit-assign"
+        assert f["line"] == 1
+        assert len(f["fingerprint"]) == 16
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_suppresses_known_findings(
+            self, bad_file, tmp_path):
+        bl = tmp_path / "baseline.json"
+        assert run([str(bad_file)], write_baseline_path=str(bl),
+                   stream=io.StringIO()) == 0
+        # baselined finding no longer fails the run...
+        assert run([str(bad_file)], baseline_path=str(bl),
+                   stream=io.StringIO()) == 0
+        # ...but a new finding in the same file still does
+        bad_file.write_text(BAD + "deadline = 12 * 3600.0\n")
+        out = io.StringIO()
+        assert run([str(bad_file)], baseline_path=str(bl), stream=out) == 1
+        assert "[magic-constant]" in out.getvalue()
+        assert "[unit-assign]" not in out.getvalue()
+
+    def test_corrupt_baseline_exits_two(self, bad_file, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text('{"version": 99}')
+        assert run([str(bad_file)], baseline_path=str(bl),
+                   stream=io.StringIO()) == 2
+
+
+class TestArgparseMain:
+    def test_main_parses_flags(self, good_file, capsys):
+        assert main([str(good_file), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 0

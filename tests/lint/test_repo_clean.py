@@ -1,0 +1,30 @@
+"""Meta-test: the linter, self-applied, finds nothing in ``src/repro``.
+
+This is the CI gate the issue asks for — any new unit-mixing bug,
+unsuffixed quantity field, or reintroduced magic constant fails the
+suite until it is fixed or explicitly suppressed with a
+``# repro-lint: ignore[rule]`` comment.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, render_text
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir(), f"expected package source at {SRC}"
+
+
+def test_repo_has_zero_unsuppressed_findings():
+    findings = lint_paths([SRC])
+    assert not findings, (
+        "repro.lint found unit-consistency problems in src/repro:\n"
+        + render_text(findings))
+
+
+def test_linter_actually_scanned_the_tree():
+    """Guard against a silently-empty run (e.g. wrong path, skip-all)."""
+    py_files = list(SRC.rglob("*.py"))
+    assert len(py_files) > 50, "suspiciously few files scanned"

@@ -72,3 +72,61 @@ class TestEnergyAndCarbonHelpers:
         assert c >= 0.0
         assert units.operational_carbon_g(2 * p, t, ci) == pytest.approx(
             2 * c, rel=1e-9, abs=1e-9)
+
+
+# Finite positive magnitudes spanning the ranges these quantities take in
+# practice (mJ..EJ, mg..kt, mW..GW) without hitting float overflow.
+finite = st.floats(min_value=1e-6, max_value=1e18,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestRoundTripProperties:
+    """Hypothesis round-trips: every converter pair must invert exactly."""
+
+    @given(x=finite)
+    def test_energy_roundtrip(self, x):
+        assert units.joules_to_kwh(units.kwh_to_joules(x)) == pytest.approx(
+            x, rel=1e-12)
+        assert units.kwh_to_joules(units.joules_to_kwh(x)) == pytest.approx(
+            x, rel=1e-12)
+
+    @given(x=finite)
+    def test_mass_roundtrips(self, x):
+        assert units.grams_to_kg(units.kg_to_grams(x)) == pytest.approx(
+            x, rel=1e-12)
+        assert units.kg_to_tonnes(units.tonnes_to_grams(x) / units.GRAMS_PER_KG) \
+            == pytest.approx(x, rel=1e-12)
+        assert units.grams_to_tonnes(units.tonnes_to_grams(x)) == pytest.approx(
+            x, rel=1e-12)
+
+    @given(x=finite)
+    def test_mass_chain_composes(self, x):
+        # g -> kg -> t must agree with the direct g -> t conversion
+        via_kg = units.kg_to_tonnes(units.grams_to_kg(x))
+        assert via_kg == pytest.approx(units.grams_to_tonnes(x), rel=1e-12)
+
+    @given(x=finite)
+    def test_power_roundtrips(self, x):
+        assert units.watts_to_kw(units.kw_to_watts(x)) == pytest.approx(
+            x, rel=1e-12)
+        assert units.watts_to_mw(units.mw_to_watts(x)) == pytest.approx(
+            x, rel=1e-12)
+        # kW -> W -> MW must agree with the scale ratio
+        assert units.watts_to_mw(units.kw_to_watts(x)) == pytest.approx(
+            x * units.WATTS_PER_KW / units.WATTS_PER_MW, rel=1e-12)
+
+    @given(x=finite)
+    def test_time_roundtrips(self, x):
+        assert units.seconds_to_hours(units.hours_to_seconds(x)) == \
+            pytest.approx(x, rel=1e-12)
+        assert units.seconds_to_days(units.days_to_seconds(x)) == \
+            pytest.approx(x, rel=1e-12)
+        assert units.seconds_to_years(units.years_to_seconds(x)) == \
+            pytest.approx(x, rel=1e-12)
+
+    @given(p=finite, t=finite)
+    def test_energy_kwh_matches_joule_path(self, p, t):
+        # energy_kwh(P, t) must equal the explicit J -> kWh conversion
+        direct = units.energy_kwh(p, t)
+        via_joules = units.joules_to_kwh(p * t)
+        assert direct == pytest.approx(via_joules, rel=1e-9)
