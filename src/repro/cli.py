@@ -14,6 +14,8 @@ command                what it does
 ``forecast ZONE``      rolling forecast-skill table for one zone
 ``advise``             allocation advice for a job's scaling profile
 ``lint``               dimensional-consistency linter (repro.lint)
+``service stats``      drive the carbon serving layer, print its metrics
+``service query``      one intensity lookup through the serving layer
 ====================  ====================================================
 
 Everything prints to stdout; machine-readable exports go through
@@ -83,6 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSON baseline of accepted finding fingerprints")
     lint.add_argument("--write-baseline", metavar="FILE", default=None,
                       help="record current findings as the baseline")
+
+    svc = sub.add_parser(
+        "service", help="carbon-data serving layer (see repro.service)")
+    svc_sub = svc.add_subparsers(dest="service_command", required=True)
+
+    st = svc_sub.add_parser(
+        "stats", help="run a scripted query loop, print service metrics")
+    st.add_argument("--zone", default="DE")
+    st.add_argument("--queries", type=int, default=2000,
+                    help="number of spot queries in the loop")
+    st.add_argument("--span-days", type=float, default=2.0,
+                    help="time span the queries are drawn from")
+    st.add_argument("--quantize-minutes", type=float, default=5.0,
+                    help="cache quantization window (0 = exact times)")
+    st.add_argument("--repeat-fraction", type=float, default=0.8,
+                    help="fraction of queries re-asking a recent time "
+                         "(models polling consumers)")
+    st.add_argument("--failure-rate", type=float, default=0.0,
+                    help="injected backend failure probability")
+    st.add_argument("--batch", type=int, default=0,
+                    help="issue queries in coalesced batches of this "
+                         "size (0 = one by one)")
+    st.add_argument("--seed", type=int, default=0)
+
+    q = svc_sub.add_parser(
+        "query", help="one intensity lookup through the serving layer")
+    q.add_argument("zone")
+    q.add_argument("--at-hours", type=float, default=24.0,
+                   help="query time, hours since trace start")
+    q.add_argument("--signal", choices=["marginal", "average"],
+                   default="marginal")
+    q.add_argument("--seed", type=int, default=0)
     return p
 
 
@@ -219,6 +253,75 @@ def _cmd_advise(args) -> None:
     print(f"expected energy: {advice.energy_kwh:.1f} kWh")
 
 
+def _cmd_service_stats(args) -> None:
+    """Scripted query loop against a CarbonService — the ``repro serve``
+    stand-in: a deterministic traffic generator plus the operator's
+    metrics view, with optional fault injection."""
+    import numpy as np
+
+    from repro.grid import StaticProvider, SyntheticProvider, get_zone
+    from repro.service import CarbonService, FlakyProvider
+
+    zone = get_zone(args.zone)
+    backend = SyntheticProvider(zone, seed=args.seed)
+    if args.failure_rate > 0:
+        backend = FlakyProvider(backend, failure_rate=args.failure_rate,
+                                seed=args.seed)
+    service = CarbonService(
+        backend,
+        quantize_s=args.quantize_minutes * units.SECONDS_PER_MINUTE,
+        fallback=StaticProvider(zone.mean_intensity_g_per_kwh,
+                                zone_code=f"{zone.code}-fallback"),
+        sleep=lambda _s: None,  # scripted loop: don't stall on backoff
+    )
+
+    rng = np.random.default_rng(args.seed)
+    span_s = args.span_days * units.SECONDS_PER_DAY
+    recent: list = []
+    times: list = []
+    for _ in range(args.queries):
+        if recent and float(rng.random()) < args.repeat_fraction:
+            t = recent[int(rng.integers(len(recent)))]
+        else:
+            t = float(rng.uniform(0.0, span_s))
+            recent.append(t)
+            if len(recent) > 32:  # polling consumers revisit a small
+                recent.pop(0)    # working set of recent timestamps
+        times.append(t)
+
+    if args.batch > 0:
+        for i in range(0, len(times), args.batch):
+            service.batch_intensity(times[i:i + args.batch])
+    else:
+        for t in times:
+            service.intensity_at(t)
+
+    snap = service.snapshot()
+    total = snap.get("cache.hits", 0) + snap.get("cache.misses", 0)
+    print(f"ran {args.queries} queries over {args.span_days:g} days "
+          f"(zone {zone.code}, repeat={args.repeat_fraction:.0%}, "
+          f"failure-rate={args.failure_rate:.0%})")
+    print(f"cache hit rate: {service.cache.hit_rate:.1%} "
+          f"({snap.get('cache.hits', 0):.0f}/{total:.0f})")
+    print()
+    print(service.render_stats())
+
+
+def _cmd_service_query(args) -> None:
+    from repro.grid import StaticProvider, SyntheticProvider, get_zone
+    from repro.service import CarbonService
+
+    zone = get_zone(args.zone)
+    service = CarbonService(
+        SyntheticProvider(zone, seed=args.seed),
+        fallback=StaticProvider(zone.mean_intensity_g_per_kwh))
+    t = args.at_hours * units.SECONDS_PER_HOUR
+    value = (service.intensity_at(t) if args.signal == "marginal"
+             else service.average_intensity_at(t))
+    print(f"{zone.code} {args.signal} intensity at "
+          f"t={args.at_hours:g}h: {value:.1f} gCO2e/kWh")
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run
     try:
@@ -247,6 +350,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_forecast(args)
     elif args.command == "advise":
         _cmd_advise(args)
+    elif args.command == "service":
+        if args.service_command == "stats":
+            _cmd_service_stats(args)
+        else:
+            _cmd_service_query(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -49,6 +49,10 @@ def read_trace_csv(src: Union[str, Path, TextIO],
     """Read a trace written by :func:`write_trace_csv` (or any CSV with
     the same two columns).
 
+    Tolerates the rough edges of provider exports: a UTF-8 BOM, CRLF
+    line endings, padded cells, and trailing blank (or whitespace-only)
+    lines.  Validation errors name the offending CSV line number.
+
     Raises
     ------
     ValueError
@@ -63,22 +67,27 @@ def read_trace_csv(src: Union[str, Path, TextIO],
             header = next(r)
         except StopIteration:
             raise ValueError("empty CSV") from None
-        if [h.strip() for h in header] != _HEADER:
+        cleaned = [h.lstrip("\ufeff").strip() for h in header]
+        if cleaned != _HEADER:
             raise ValueError(
                 f"unexpected header {header!r}; expected {_HEADER}")
         times = []
         values = []
+        line_nos = []
         for lineno, row in enumerate(r, start=2):
-            if not row:
+            cells = [c.strip() for c in row]
+            if not any(cells):  # blank or whitespace-only row
                 continue
-            if len(row) != 2:
-                raise ValueError(f"line {lineno}: expected 2 columns")
+            if len(cells) != 2:
+                raise ValueError(f"line {lineno}: expected 2 columns, "
+                                 f"got {len(cells)}")
             try:
-                times.append(float(row[0]))
-                values.append(float(row[1]))
+                times.append(float(cells[0]))
+                values.append(float(cells[1]))
             except ValueError:
                 raise ValueError(
                     f"line {lineno}: unparseable values {row!r}") from None
+            line_nos.append(lineno)
     finally:
         if own:
             fh.close()
@@ -89,9 +98,16 @@ def read_trace_csv(src: Union[str, Path, TextIO],
     steps = np.diff(t)
     step = steps[0]
     if step <= 0:
-        raise ValueError("times must be strictly increasing")
-    if not np.allclose(steps, step, rtol=0, atol=1e-6 * max(step, 1.0)):
         raise ValueError(
-            "irregular sampling; repair gaps before importing")
+            f"times must be strictly increasing "
+            f"(line {line_nos[1]}: {t[1]:g} follows {t[0]:g})")
+    bad = np.flatnonzero(
+        ~np.isclose(steps, step, rtol=0, atol=1e-6 * max(step, 1.0)))
+    if bad.size:
+        first = int(bad[0])
+        raise ValueError(
+            f"irregular sampling at line {line_nos[first + 1]}: step "
+            f"{steps[first]:g} s differs from inferred {step:g} s; "
+            f"repair gaps before importing")
     return CarbonIntensityTrace(np.asarray(values), float(step),
                                 float(t[0]), zone)

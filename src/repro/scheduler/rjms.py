@@ -29,6 +29,7 @@ import numpy as np
 from repro import units
 from repro.core.operational import PowerTrace
 from repro.grid.providers import CarbonIntensityProvider, StaticProvider
+from repro.service.core import CarbonService
 from repro.scheduler.queues import QueueSet
 from repro.simulator.checkpoint import CheckpointModel
 from repro.simulator.cluster import Cluster
@@ -165,7 +166,11 @@ class RJMS:
     provider:
         Carbon-intensity provider for accounting and carbon-aware
         policies; defaults to a zero-intensity static provider (pure
-        performance scheduling).
+        performance scheduling).  Whatever is passed is fronted by a
+        value-transparent :class:`~repro.service.core.CarbonService`
+        (already-wrapped providers are used as-is), so every intensity
+        lookup in the simulation — accounting, telemetry, policies —
+        flows through the serving layer's cache and fault handling.
     queues:
         Queue configuration; orders the pending queue.
     tick_seconds:
@@ -191,7 +196,7 @@ class RJMS:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids in workload")
         self.policy = policy
-        self.provider = provider or StaticProvider(0.0)
+        self.provider = CarbonService.ensure(provider or StaticProvider(0.0))
         self.queues = queues or QueueSet()
         self.tick_seconds = float(tick_seconds)
         self.checkpoint_model = checkpoint_model or CheckpointModel()
@@ -200,6 +205,7 @@ class RJMS:
         self.telemetry.register(Sensor("cluster.power", "W"))
         self.telemetry.register(Sensor("grid.intensity", "gCO2/kWh"))
         self.telemetry.register(Sensor("cluster.nodes_busy", "nodes"))
+        self.telemetry.register(Sensor("service.cache_hit_rate", "ratio"))
 
         self.pending: List[Job] = []
         self.running: Dict[int, Job] = {}
@@ -271,6 +277,8 @@ class RJMS:
         self.telemetry.record("grid.intensity", now,
                               self.provider.intensity_at(max(now, 0.0)))
         self.telemetry.record("cluster.nodes_busy", now, self.cluster.n_busy)
+        self.telemetry.record("service.cache_hit_rate", now,
+                              self.provider.cache.hit_rate)
 
     # -- lifecycle: arrival ----------------------------------------------------------
 

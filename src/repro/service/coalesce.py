@@ -1,0 +1,116 @@
+"""Request coalescing: N identical lookups, one backend call.
+
+A burst of consumers asking for the same ``(zone, signal, window)`` —
+every job in a scheduling pass, every node's telemetry poll in the same
+tick — must not translate into N backend round trips.  The coalescer
+is the single-flight primitive that collapses them: lookups are
+*submitted* (returning a lightweight :class:`PendingLookup` handle) and
+then *flushed*, at which point each **unique** key is fetched exactly
+once and every duplicate handle resolves to the shared result.  Errors
+propagate to every waiter of the key, exactly like Go's
+``singleflight`` or a future-per-key dedup map in an async server.
+
+The repo's simulator is single-threaded, so "concurrent" here means
+"within one batch window" — the semantics (and the accounting:
+``coalesce.requests`` vs ``coalesce.fetches``) are identical to the
+threaded case without the locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["PendingLookup", "RequestCoalescer"]
+
+
+class PendingLookup:
+    """Handle for one submitted lookup; resolved by the flush."""
+
+    __slots__ = ("key", "_value", "_error", "_resolved")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._resolved = False
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._resolved = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._resolved = True
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        """The fetched value; raises the fetch error for failed keys,
+        or ``RuntimeError`` if read before the flush."""
+        if not self._resolved:
+            raise RuntimeError(f"lookup {self.key!r} not flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class RequestCoalescer:
+    """Collapses duplicate keyed lookups into single backend fetches.
+
+    Parameters
+    ----------
+    fetch:
+        ``key -> value`` backend call, invoked once per unique pending
+        key at flush time.
+    metrics:
+        Shared registry; counters land under ``coalesce.*`` —
+        ``requests`` (submits), ``fetches`` (backend calls), and the
+        win, ``deduplicated`` (= requests - fetches).
+    """
+
+    def __init__(self, fetch: Callable[[Hashable], Any],
+                 metrics: Optional[ServiceMetrics] = None) -> None:
+        self.fetch = fetch
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: unique pending key -> every handle waiting on it
+        self._pending: Dict[Hashable, List[PendingLookup]] = {}
+
+    def __len__(self) -> int:
+        """Number of *unique* keys awaiting a flush."""
+        return len(self._pending)
+
+    def submit(self, key: Hashable) -> PendingLookup:
+        """Register a lookup; duplicates of an in-flight key share its
+        eventual fetch."""
+        self.metrics.counter("coalesce.requests").inc()
+        handle = PendingLookup(key)
+        waiters = self._pending.get(key)
+        if waiters is None:
+            self._pending[key] = [handle]
+        else:
+            self.metrics.counter("coalesce.deduplicated").inc()
+            waiters.append(handle)
+        return handle
+
+    def flush(self) -> None:
+        """Fetch every unique pending key once; resolve all handles.
+
+        A failing fetch fails *that key's* waiters and continues with
+        the rest — one bad key must not starve an entire batch.
+        """
+        pending, self._pending = self._pending, {}
+        for key, waiters in pending.items():
+            self.metrics.counter("coalesce.fetches").inc()
+            try:
+                value = self.fetch(key)
+            except Exception as exc:  # propagated via each handle
+                for h in waiters:
+                    h._fail(exc)
+            else:
+                for h in waiters:
+                    h._resolve(value)

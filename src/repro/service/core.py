@@ -1,0 +1,401 @@
+"""``CarbonService``: the serving layer in front of any intensity provider.
+
+The paper's schedulers (§3.3) and PowerStack monitors (§3.1) poll grid
+signals continuously, the way production tools wrap ElectricityMaps or
+WattTime.  Polling a raw provider does not survive production traffic:
+every consumer pays the backend round trip, repeated lookups in the
+same tick are re-fetched N times, and one flaky backend takes the whole
+scheduler down with it.  :class:`CarbonService` is the standard answer,
+assembled from this package's parts::
+
+    consumer ──> cache (TTL+LRU) ──> coalescer ──> retry/breaker ──> provider
+                    │ hit                                │ trip
+                    └── value                            └── stale / last-good /
+                                                             fallback provider
+
+Because the service *is itself* a
+:class:`~repro.grid.providers.CarbonIntensityProvider`, it drops into
+every existing seam — the RJMS, the backfill policies, the PowerStack
+budget policies, the accounting reports — without changing a call site.
+With the defaults (no quantization, no TTL) it is **value-transparent**:
+deterministic backends yield bit-identical answers through the service,
+so simulation results are unchanged while repeated lookups collapse
+onto the cache.  Dial ``quantize_s`` up to trade freshness for
+throughput the way 5-minute-granularity monitors do.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.grid.intensity import CarbonIntensityTrace
+from repro.grid.providers import CarbonIntensityProvider
+from repro.service.cache import MISSING, TTLLRUCache
+from repro.service.coalesce import PendingLookup, RequestCoalescer
+from repro.service.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceUnavailableError,
+    TransientBackendError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.retry import BreakerState, CircuitBreaker, RetryPolicy
+
+__all__ = ["CarbonService", "CarbonServicePool", "SIGNALS"]
+
+#: the two intensity signals a provider serves (see providers.py: the
+#: paper's Figure 2 plots *marginal*; *average* is the consumption mix)
+SIGNALS = ("marginal", "average")
+
+#: everything the degradation chain absorbs (callers never see these
+#: unless every degradation tier is empty)
+_ABSORBED = (CircuitOpenError, DeadlineExceededError,
+             TransientBackendError, ConnectionError, TimeoutError)
+
+_BREAKER_STATE_GAUGE = {BreakerState.CLOSED: 0.0,
+                        BreakerState.HALF_OPEN: 1.0,
+                        BreakerState.OPEN: 2.0}
+
+
+class CarbonService(CarbonIntensityProvider):
+    """Caching, coalescing, fault-tolerant front for one provider.
+
+    Parameters
+    ----------
+    backend:
+        The wrapped provider (possibly flaky/slow — see
+        :mod:`repro.service.faults`).
+    quantize_s:
+        Spot-lookup times are floored to multiples of this before
+        hitting cache *and* backend, so all lookups in one quantization
+        window share one value.  ``0`` (default) keys on exact times —
+        fully value-transparent.
+    ttl_s:
+        Cache entry lifetime (``None`` = no expiry; right for the
+        deterministic offline providers).
+    max_entries:
+        Cache capacity (LRU beyond it).
+    retry:
+        Backoff schedule for backend calls.
+    breaker:
+        Circuit breaker; created with defaults when omitted.
+    fallback:
+        Last-resort provider (e.g. a
+        :class:`~repro.grid.providers.StaticProvider` at the zone mean)
+        consulted when the backend is down and no cached value exists.
+    metrics:
+        Shared registry (one per service by default).
+    seed:
+        Seed for the retry-jitter RNG.
+    clock, sleep:
+        Injectable time sources for TTL/breaker/backoff — tests drive
+        them synthetically, production uses the real ones.
+    """
+
+    def __init__(self, backend: CarbonIntensityProvider, *,
+                 quantize_s: float = 0.0,
+                 ttl_s: Optional[float] = None,
+                 max_entries: int = 4096,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 fallback: Optional[CarbonIntensityProvider] = None,
+                 metrics: Optional[ServiceMetrics] = None,
+                 seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if quantize_s < 0:
+            raise ValueError("quantize_s must be non-negative")
+        self.backend = backend
+        self.zone_code = backend.zone_code
+        self.quantize_s = float(quantize_s)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache = TTLLRUCache(max_entries=max_entries, ttl_s=ttl_s,
+                                 clock=clock, metrics=self.metrics)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None \
+            else CircuitBreaker(clock=clock)
+        self.fallback = fallback
+        self.clock = clock
+        self.sleep = sleep
+        self._rng = np.random.default_rng(seed)
+        self._coalescer = RequestCoalescer(self._fetch_spot_key, self.metrics)
+        #: most recent fresh value per signal, for degraded reads
+        self._last_good_g_per_kwh: Dict[str, float] = {}
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def ensure(cls, provider: CarbonIntensityProvider,
+               **kwargs) -> "CarbonService":
+        """``provider`` unchanged if it already is a service, else wrap it
+        with the given service options — the idiom every integration
+        point uses, so stacking never double-wraps."""
+        if isinstance(provider, CarbonService):
+            return provider
+        return cls(provider, **kwargs)
+
+    def __getattr__(self, name: str):
+        # transparent proxy: anything the service does not define is
+        # answered by the backend (e.g. SyntheticProvider.model)
+        if name == "backend":
+            raise AttributeError(name)
+        return getattr(self.backend, name)
+
+    # -- keys --------------------------------------------------------------------
+
+    def _quantize(self, t: float) -> float:
+        if self.quantize_s == 0.0:
+            return float(t)
+        return float(np.floor(t / self.quantize_s) * self.quantize_s)
+
+    def _spot_key(self, t: float, signal: str):
+        if signal not in SIGNALS:
+            raise ValueError(f"unknown signal {signal!r}; one of {SIGNALS}")
+        return (self.zone_code, signal, self._quantize(t))
+
+    # -- guarded backend access ----------------------------------------------------
+
+    def _backend_call(self, fn: Callable[[], object]):
+        """One guarded request: breaker gate -> retry loop -> accounting."""
+        self.breaker.check()
+        started = self.clock()
+        try:
+            value = self.retry.run(
+                fn, rng=self._rng, sleep=self.sleep, clock=self.clock,
+                on_retry=lambda _a: self.metrics.counter(
+                    "backend.retries").inc())
+        except _ABSORBED:
+            self.breaker.record_failure()
+            self.metrics.counter("backend.failures").inc()
+            self._update_breaker_gauge()
+            raise
+        self.breaker.record_success()
+        self.metrics.counter("backend.calls").inc()
+        self.metrics.histogram("backend.latency").observe(
+            max(0.0, self.clock() - started))
+        self._update_breaker_gauge()
+        return value
+
+    def _update_breaker_gauge(self) -> None:
+        self.metrics.gauge("breaker.state").set(
+            _BREAKER_STATE_GAUGE[self.breaker.state])
+
+    # -- spot lookups --------------------------------------------------------------
+
+    def _fetch_spot_key(self, key) -> float:
+        """Backend fetch for one spot key, with the degradation chain.
+
+        Never raises while any of (stale cache entry, last-good value,
+        fallback provider) can answer — the "never raise to the
+        scheduler" guarantee.
+        """
+        zone, signal, tq = key
+        call = (self.backend.intensity_at if signal == "marginal"
+                else self.backend.average_intensity_at)
+        try:
+            value = float(self._backend_call(lambda: call(tq)))
+        except _ABSORBED as exc:
+            return self._degrade_spot(key, exc)
+        self.cache.put(key, value)
+        self._last_good_g_per_kwh[signal] = value
+        return value
+
+    def _degrade_spot(self, key, exc: BaseException) -> float:
+        zone, signal, tq = key
+        stale = self.cache.get_stale(key)
+        if stale is not MISSING:
+            self.metrics.counter("degraded.stale").inc()
+            return stale
+        if signal in self._last_good_g_per_kwh:
+            self.metrics.counter("degraded.last_good").inc()
+            return self._last_good_g_per_kwh[signal]
+        if self.fallback is not None:
+            self.metrics.counter("degraded.fallback").inc()
+            call = (self.fallback.intensity_at if signal == "marginal"
+                    else self.fallback.average_intensity_at)
+            return float(call(tq))
+        raise ServiceUnavailableError(
+            f"zone {zone}: backend down and no cached/fallback value "
+            f"for {signal} intensity at t={tq}") from exc
+
+    def _spot(self, t: float, signal: str) -> float:
+        key = self._spot_key(t, signal)
+        cached = self.cache.get(key)
+        if cached is not MISSING:
+            return cached
+        return self._fetch_spot_key(key)
+
+    # -- provider API (what every existing consumer calls) -------------------------
+
+    def intensity_at(self, t: float) -> float:
+        return self._spot(t, "marginal")
+
+    def average_intensity_at(self, t: float) -> float:
+        return self._spot(t, "average")
+
+    def history(self, t0: float, t1: float) -> CarbonIntensityTrace:
+        """Cached history window (exact keys — accounting integrates
+        these, so quantization is never applied to windows)."""
+        key = (self.zone_code, "history", float(t0), float(t1))
+        cached = self.cache.get(key)
+        if cached is not MISSING:
+            return cached
+        try:
+            trace = self._backend_call(lambda: self.backend.history(t0, t1))
+        except _ABSORBED as exc:
+            return self._degrade_history(key, t0, t1, exc)
+        self.cache.put(key, trace)
+        return trace
+
+    def _degrade_history(self, key, t0: float, t1: float,
+                         exc: BaseException) -> CarbonIntensityTrace:
+        stale = self.cache.get_stale(key)
+        if stale is not MISSING:
+            self.metrics.counter("degraded.stale").inc()
+            return stale
+        if self.fallback is not None:
+            self.metrics.counter("degraded.fallback").inc()
+            return self.fallback.history(t0, t1)
+        if "marginal" in self._last_good_g_per_kwh:
+            # flat window at the last spot value: crude, but accounting
+            # keeps running through an outage instead of crashing
+            self.metrics.counter("degraded.last_good").inc()
+            return CarbonIntensityTrace.constant(
+                self._last_good_g_per_kwh["marginal"], t1 - t0,
+                start_time=t0, zone=self.zone_code)
+        raise ServiceUnavailableError(
+            f"zone {self.zone_code}: backend down and no cached/fallback "
+            f"history for [{t0}, {t1})") from exc
+
+    # -- batched lookups ------------------------------------------------------------
+
+    def batch_intensity(self, times: Sequence[float],
+                        signal: str = "marginal") -> np.ndarray:
+        """Vectorized spot lookup: cache hits answered immediately,
+        the misses coalesced so each unique quantized key costs one
+        backend call no matter how many duplicates the burst contains."""
+        slots = []
+        for t in times:
+            key = self._spot_key(float(t), signal)
+            cached = self.cache.get(key)
+            if cached is not MISSING:
+                slots.append(cached)
+            else:
+                slots.append(self._coalescer.submit(key))
+        self._coalescer.flush()
+        return np.asarray(
+            [s.value if isinstance(s, PendingLookup) else s for s in slots],
+            dtype=np.float64)
+
+    # -- observability ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current metrics (breaker state gauge refreshed first)."""
+        self._update_breaker_gauge()
+        return self.metrics.snapshot()
+
+    def render_stats(self) -> str:
+        """The ``repro service stats`` text block."""
+        self._update_breaker_gauge()
+        header = (f"carbon service: zone={self.zone_code} "
+                  f"quantize={self.quantize_s:g}s "
+                  f"ttl={'inf' if self.cache.ttl_s is None else self.cache.ttl_s} "
+                  f"breaker={self.breaker.state.value}")
+        return header + "\n" + self.metrics.render()
+
+
+class CarbonServicePool(CarbonIntensityProvider):
+    """A fleet of per-zone :class:`CarbonService` instances behind one
+    metrics registry — the multi-zone entry point federation-style
+    consumers use.
+
+    Parameters
+    ----------
+    providers:
+        Either a mapping ``zone -> provider`` (pre-built backends) or a
+        factory ``zone -> provider`` called on first use of a zone.
+    default_zone:
+        The zone answering the plain single-zone provider API calls on
+        the pool itself (defaults to the first mapped zone, if any).
+    **service_kwargs:
+        Forwarded to every :class:`CarbonService` the pool builds
+        (quantization, TTL, retry, fallback, ...).
+    """
+
+    def __init__(self,
+                 providers: Union[Mapping[str, CarbonIntensityProvider],
+                                  Callable[[str], CarbonIntensityProvider]],
+                 default_zone: Optional[str] = None,
+                 **service_kwargs) -> None:
+        self.metrics = service_kwargs.pop("metrics", None) or ServiceMetrics()
+        self._service_kwargs = service_kwargs
+        self._services: Dict[str, CarbonService] = {}
+        if callable(providers):
+            self._factory = providers
+        else:
+            self._factory = None
+            for zone, provider in providers.items():
+                self._services[zone] = CarbonService(
+                    provider, metrics=self.metrics, **service_kwargs)
+        if default_zone is None and self._services:
+            default_zone = next(iter(self._services))
+        self.default_zone = default_zone
+        self.zone_code = default_zone or ""
+
+    def zones(self) -> list:
+        return sorted(self._services)
+
+    def service(self, zone: str) -> CarbonService:
+        """The per-zone service, built on first use when a factory was
+        given."""
+        if zone not in self._services:
+            if self._factory is None:
+                raise KeyError(f"unknown zone {zone!r}; "
+                               f"have {self.zones()}")
+            self._services[zone] = CarbonService(
+                self._factory(zone), metrics=self.metrics,
+                **self._service_kwargs)
+        return self._services[zone]
+
+    # -- single-zone provider API (delegates to the default zone) ------------------
+
+    def _default(self) -> CarbonService:
+        if self.default_zone is None:
+            raise ValueError("pool has no default zone")
+        return self.service(self.default_zone)
+
+    def intensity_at(self, t: float) -> float:
+        return self._default().intensity_at(t)
+
+    def average_intensity_at(self, t: float) -> float:
+        return self._default().average_intensity_at(t)
+
+    def history(self, t0: float, t1: float) -> CarbonIntensityTrace:
+        return self._default().history(t0, t1)
+
+    # -- the vectorized multi-zone call --------------------------------------------
+
+    def batch_intensity(self, zones: Sequence[str], times: Sequence[float],
+                        signal: str = "marginal") -> np.ndarray:
+        """Elementwise ``(zone, time)`` lookups, grouped per zone and
+        coalesced there, so duplicate queries across the whole batch
+        still cost one backend call each."""
+        if len(zones) != len(times):
+            raise ValueError("zones and times must have equal length")
+        out = np.empty(len(zones), dtype=np.float64)
+        by_zone: Dict[str, list] = {}
+        for i, (z, t) in enumerate(zip(zones, times)):
+            by_zone.setdefault(z, []).append((i, float(t)))
+        for zone, entries in by_zone.items():
+            idx = [i for i, _ in entries]
+            ts = [t for _, t in entries]
+            out[idx] = self.service(zone).batch_intensity(ts, signal)
+        return out
+
+    def render_stats(self) -> str:
+        lines = [f"carbon service pool: zones={','.join(self.zones()) or '-'}"]
+        lines.append(self.metrics.render())
+        return "\n".join(lines)

@@ -79,3 +79,61 @@ class TestValidation:
             "time_s,intensity_g_per_kwh\n0,100,5\n3600,100,5\n")
         with pytest.raises(ValueError, match="2 columns"):
             read_trace_csv(buf)
+
+    def test_errors_name_the_offending_line(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\n3600,100\n9000,100\n")
+        with pytest.raises(ValueError, match="line 4"):
+            read_trace_csv(buf)
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n3600,100\n0,100\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_trace_csv(buf)
+
+
+class TestProviderExportQuirks:
+    """Rough edges of real provider exports must not break the import."""
+
+    def test_trailing_blank_lines_ignored(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\n3600,200\n\n\n")
+        trace = read_trace_csv(buf)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+
+    def test_whitespace_only_lines_ignored(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\n   \n3600,200\n\t\n")
+        trace = read_trace_csv(buf)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+        assert trace.step_seconds == HOUR
+
+    def test_crlf_line_endings(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\r\n0,100\r\n3600,200\r\n")
+        trace = read_trace_csv(buf)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+
+    def test_utf8_bom_on_header(self):
+        buf = io.StringIO(
+            "﻿time_s,intensity_g_per_kwh\n0,100\n3600,200\n")
+        trace = read_trace_csv(buf)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+
+    def test_padded_cells(self):
+        buf = io.StringIO(
+            "time_s , intensity_g_per_kwh\n 0 , 100 \n 3600 ,200\n")
+        trace = read_trace_csv(buf)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+
+    def test_crlf_file_on_disk(self, tmp_path):
+        path = tmp_path / "crlf.csv"
+        path.write_bytes(
+            b"time_s,intensity_g_per_kwh\r\n0,100\r\n3600,200\r\n\r\n")
+        trace = read_trace_csv(path)
+        np.testing.assert_allclose(trace.values, [100.0, 200.0])
+
+    def test_skipped_blanks_do_not_shift_reported_line_numbers(self):
+        buf = io.StringIO(
+            "time_s,intensity_g_per_kwh\n0,100\n\n3600,100\n9000,100\n")
+        with pytest.raises(ValueError, match="line 5"):
+            read_trace_csv(buf)

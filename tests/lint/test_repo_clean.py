@@ -28,3 +28,22 @@ def test_linter_actually_scanned_the_tree():
     """Guard against a silently-empty run (e.g. wrong path, skip-all)."""
     py_files = list(SRC.rglob("*.py"))
     assert len(py_files) > 50, "suspiciously few files scanned"
+
+
+class TestServicePackageCovered:
+    """The serving layer is part of the carbon stack and must stay
+    under the same dimensional-consistency gate — its dataclasses carry
+    latencies, TTLs, cooldowns, and gCO2/kWh values."""
+
+    def test_service_package_is_in_the_scanned_tree(self):
+        service = SRC / "service"
+        assert service.is_dir()
+        modules = {p.name for p in service.glob("*.py")}
+        assert {"core.py", "cache.py", "coalesce.py", "retry.py",
+                "faults.py", "metrics.py", "errors.py"} <= modules
+
+    def test_service_package_is_clean(self):
+        findings = lint_paths([SRC / "service"])
+        assert not findings, (
+            "repro.lint found problems in src/repro/service:\n"
+            + render_text(findings))

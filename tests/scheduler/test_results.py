@@ -65,6 +65,26 @@ class TestSimulationResult:
         assert busy.min() >= 0
 
     def test_provider_is_carried(self, node_power_model):
+        """The result carries the serving-layer front of the provider
+        it was given (value-transparent, so lookups are unchanged)."""
+        from repro.service import CarbonService
+
         provider = StaticProvider(123.0)
         result = run_two_jobs(node_power_model, provider)
-        assert result.provider is provider
+        assert isinstance(result.provider, CarbonService)
+        assert result.provider.backend is provider
+        assert result.provider.intensity_at(0.0) == 123.0
+
+    def test_prewrapped_service_not_double_wrapped(self, node_power_model):
+        from repro.service import CarbonService
+
+        service = CarbonService(StaticProvider(123.0))
+        result = run_two_jobs(node_power_model, service)
+        assert result.provider is service
+        assert not isinstance(result.provider.backend, CarbonService)
+
+    def test_cache_hit_rate_telemetry_recorded(self, node_power_model):
+        result = run_two_jobs(node_power_model, StaticProvider(123.0))
+        _, rates = result.telemetry.series("service.cache_hit_rate")
+        assert rates.size > 0
+        assert 0.0 <= rates.min() and rates.max() <= 1.0

@@ -1,0 +1,73 @@
+"""Tests for request coalescing (single-flight deduplication)."""
+
+import pytest
+
+from repro.service import RequestCoalescer, TransientBackendError
+
+
+class CountingFetcher:
+    def __init__(self, fail_keys=()):
+        self.calls = []
+        self.fail_keys = set(fail_keys)
+
+    def __call__(self, key):
+        self.calls.append(key)
+        if key in self.fail_keys:
+            raise TransientBackendError(f"boom on {key!r}")
+        return f"value:{key}"
+
+
+class TestCoalescing:
+    def test_duplicates_share_one_fetch(self):
+        fetch = CountingFetcher()
+        co = RequestCoalescer(fetch)
+        handles = [co.submit("k") for _ in range(10)]
+        co.flush()
+        assert fetch.calls == ["k"]
+        assert all(h.value == "value:k" for h in handles)
+        assert co.metrics.counter("coalesce.requests").value == 10
+        assert co.metrics.counter("coalesce.fetches").value == 1
+        assert co.metrics.counter("coalesce.deduplicated").value == 9
+
+    def test_distinct_keys_fetched_separately(self):
+        fetch = CountingFetcher()
+        co = RequestCoalescer(fetch)
+        a, b = co.submit("a"), co.submit("b")
+        co.flush()
+        assert sorted(fetch.calls) == ["a", "b"]
+        assert a.value == "value:a" and b.value == "value:b"
+
+    def test_flush_clears_pending(self):
+        co = RequestCoalescer(CountingFetcher())
+        co.submit("k")
+        assert len(co) == 1
+        co.flush()
+        assert len(co) == 0
+        # a new submit after flush is a fresh flight
+        co.submit("k")
+        assert len(co) == 1
+
+
+class TestErrors:
+    def test_failed_key_fails_all_its_waiters(self):
+        co = RequestCoalescer(CountingFetcher(fail_keys={"bad"}))
+        h1, h2 = co.submit("bad"), co.submit("bad")
+        co.flush()
+        for h in (h1, h2):
+            with pytest.raises(TransientBackendError):
+                h.value
+
+    def test_one_bad_key_does_not_starve_the_batch(self):
+        co = RequestCoalescer(CountingFetcher(fail_keys={"bad"}))
+        bad, good = co.submit("bad"), co.submit("good")
+        co.flush()
+        assert good.value == "value:good"
+        with pytest.raises(TransientBackendError):
+            bad.value
+
+    def test_reading_before_flush_raises(self):
+        co = RequestCoalescer(CountingFetcher())
+        h = co.submit("k")
+        assert not h.resolved
+        with pytest.raises(RuntimeError, match="not flushed"):
+            h.value

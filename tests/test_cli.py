@@ -68,3 +68,45 @@ class TestCommands:
         assert main(["forecast", "FR"]) == 0
         out = capsys.readouterr().out
         assert "seasonal-naive" in out and "RMSE" in out
+
+
+class TestServiceCommand:
+    def test_service_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["service"])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["service", "stats"])
+        assert args.service_command == "stats"
+        assert args.zone == "DE"
+        assert args.queries == 2000
+
+    def test_stats_runs_and_prints_metrics(self, capsys):
+        assert main(["service", "stats", "--queries", "200",
+                     "--zone", "FR"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "cache.hits" in out and "backend.calls" in out
+
+    def test_stats_with_failure_injection(self, capsys):
+        assert main(["service", "stats", "--queries", "200",
+                     "--failure-rate", "0.2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        # a 20%-flaky backend leaves visible scars in the counters,
+        # but the loop itself never fails
+        assert "cache hit rate" in out
+
+    def test_stats_batched(self, capsys):
+        assert main(["service", "stats", "--queries", "300",
+                     "--batch", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "coalesce.fetches" in out
+
+    def test_query(self, capsys):
+        assert main(["service", "query", "DE", "--at-hours", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "gCO2e/kWh" in out
+
+    def test_query_average_signal(self, capsys):
+        assert main(["service", "query", "DE", "--signal", "average"]) == 0
+        assert "gCO2e/kWh" in capsys.readouterr().out

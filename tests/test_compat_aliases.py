@@ -1,0 +1,98 @@
+"""Coverage for ``repro._compat.dataclass_kwarg_aliases`` shims.
+
+Every dataclass that was renamed during linter self-application keeps
+accepting its pre-rename keyword with a DeprecationWarning.  One
+assertion per aliased kwarg, so dropping a shim (or a rename regressing)
+fails here by name.
+"""
+
+import warnings
+
+import pytest
+
+from repro.accounting.reports import JobCarbonReport
+from repro.core.footprint import FootprintModel, FootprintReport
+from repro.embodied.carbon500 import Carbon500Entry
+from repro.embodied.dse import DSEResult
+from repro.embodied.lifecycle import ComponentLifecycle
+from repro.grid.green import GreenPeriod
+
+
+def warns_deprecated(old_name):
+    return pytest.warns(DeprecationWarning, match=old_name)
+
+
+class TestEachAliasedKwargWarns:
+    def test_component_lifecycle_embodied_kg_each(self):
+        with warns_deprecated("embodied_kg_each"):
+            lc = ComponentLifecycle(kind="ssd", count=10,
+                                    embodied_kg_each=25.0)
+        assert lc.embodied_kg_per_unit == 25.0
+
+    def test_dse_result_grid_intensity(self):
+        with warns_deprecated("grid_intensity"):
+            r = DSEResult(evaluations=[], grid_intensity=300.0)
+        assert r.grid_intensity_g_per_kwh == 300.0
+
+    def test_carbon500_embodied_rate_t_per_year(self):
+        with warns_deprecated("embodied_rate_t_per_year"):
+            e = Carbon500Entry(rank=1, name="x", perf_pflops=1.0,
+                               embodied_rate_t_per_year=100.0,
+                               operational_rate_tonnes_per_year=50.0)
+        assert e.embodied_rate_tonnes_per_year == 100.0
+
+    def test_carbon500_operational_rate_t_per_year(self):
+        with warns_deprecated("operational_rate_t_per_year"):
+            e = Carbon500Entry(rank=1, name="x", perf_pflops=1.0,
+                               embodied_rate_tonnes_per_year=100.0,
+                               operational_rate_t_per_year=50.0)
+        assert e.operational_rate_tonnes_per_year == 50.0
+
+    def test_job_carbon_report_mean_intensity(self):
+        with warns_deprecated("mean_intensity"):
+            r = JobCarbonReport(job_id=1, user="u", project="p",
+                                n_nodes=2, runtime_s=3600.0,
+                                energy_kwh=10.0, carbon_kg=3.0,
+                                mean_intensity=300.0, green_fraction=0.5,
+                                overallocation_waste_kwh=0.0,
+                                analogy="~")
+        assert r.mean_intensity_g_per_kwh == 300.0
+
+    def test_green_period_mean_intensity(self):
+        with warns_deprecated("mean_intensity"):
+            g = GreenPeriod(start=0.0, end=3600.0, mean_intensity=120.0)
+        assert g.mean_intensity_g_per_kwh == 120.0
+
+    def test_footprint_model_grid_intensity(self):
+        with warns_deprecated("grid_intensity"):
+            m = FootprintModel(embodied_kg=1000.0, avg_power_watts=500.0,
+                               lifetime_years=5.0, grid_intensity=20.0)
+        assert m.grid_intensity_g_per_kwh == 20.0
+
+    def test_footprint_report_grid_intensity(self):
+        with warns_deprecated("grid_intensity"):
+            r = FootprintReport(embodied_kg=1000.0, operational_kg=500.0,
+                                lifetime_years=5.0, grid_intensity=20.0)
+        assert r.grid_intensity_g_per_kwh == 20.0
+
+
+class TestShimSemantics:
+    def test_new_name_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            g = GreenPeriod(start=0.0, end=3600.0,
+                            mean_intensity_g_per_kwh=120.0)
+        assert g.mean_intensity_g_per_kwh == 120.0
+
+    def test_old_and_new_together_is_an_error(self):
+        with pytest.raises(TypeError, match="deprecated"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                GreenPeriod(start=0.0, end=3600.0,
+                            mean_intensity=120.0,
+                            mean_intensity_g_per_kwh=120.0)
+
+    def test_deprecated_attribute_read_still_works(self):
+        g = GreenPeriod(start=0.0, end=3600.0,
+                        mean_intensity_g_per_kwh=120.0)
+        assert g.mean_intensity == 120.0
