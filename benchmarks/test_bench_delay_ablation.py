@@ -3,7 +3,9 @@
 DESIGN.md §5 calls for ablating the carbon-aware backfill's two knobs:
 the per-job delay bound (how much queue pain users accept) and the
 minimum-saving gate (how eagerly the scheduler holds).  This bench
-sweeps both on the E10 scenario.
+sweeps both on the E10 scenario — through the parallel sweep executor
+(``workers=2``), whose serial-parity contract guarantees the grid's
+numbers are independent of how it was sharded.
 
 Expected shape: carbon saving grows with the allowed delay up to about
 half a day, then *declines* — holds beyond the forecast's useful horizon
@@ -13,8 +15,6 @@ stricter saving gate buys noticeably less wait for a little carbon.
 The site's operational question — "what delay buys how much carbon?" —
 becomes a table with an interior optimum.
 """
-
-import copy
 
 import pytest
 
@@ -41,35 +41,42 @@ def make_workload():
     return WorkloadGenerator(cfg, seed=3).generate()
 
 
+def run_one(policy):
+    """One full scheduling run; rebuilds its world from fixed seeds so
+    any cell can execute in any worker process."""
+    cluster = Cluster(32, PM, idle_power_off=True)
+    provider = SyntheticProvider("ES", seed=7)
+    return RJMS(cluster, make_workload(), policy,
+                provider=provider).run()
+
+
+def ablation_cell(max_delay_h, min_saving):
+    """Module-level (picklable) sweep cell — runs in pool workers."""
+    r = run_one(CarbonBackfillPolicy(
+        max_delay_s=max_delay_h * HOUR,
+        min_saving_fraction=min_saving))
+    return {"carbon_kg": r.total_carbon_kg,
+            "wait_h": r.mean_wait_s / HOUR,
+            "completed": float(len(r.completed_jobs))}
+
+
 def run_ablation():
-    jobs = make_workload()
-
-    def run_one(policy):
-        cluster = Cluster(32, PM, idle_power_off=True)
-        provider = SyntheticProvider("ES", seed=7)
-        return RJMS(cluster, copy.deepcopy(jobs), policy,
-                    provider=provider).run()
-
     baseline = run_one(EasyBackfillPolicy())
-
-    def scenario(max_delay_h, min_saving):
-        r = run_one(CarbonBackfillPolicy(
-            max_delay_s=max_delay_h * HOUR,
-            min_saving_fraction=min_saving))
-        return {"carbon_kg": r.total_carbon_kg,
-                "wait_h": r.mean_wait_s / HOUR,
-                "completed": float(len(r.completed_jobs))}
-
-    table = sweep(scenario,
+    table = sweep(ablation_cell,
                   grid={"max_delay_h": [3, 6, 12, 24],
                         "min_saving": [0.03, 0.10]},
-                  metric_names=["carbon_kg", "wait_h", "completed"])
+                  metric_names=["carbon_kg", "wait_h", "completed"],
+                  workers=2)
     return baseline, table
 
 
 def test_bench_delay_ablation(benchmark):
     baseline, table = benchmark.pedantic(run_ablation, rounds=1,
                                          iterations=1)
+
+    # the grid went through the process pool, and nothing failed
+    assert table.stats.mode == "process-pool"
+    assert table.failures == []
 
     assert all(c == 150.0 for c in table.column("completed"))
 
@@ -102,5 +109,9 @@ def test_bench_delay_ablation(benchmark):
     for (d, g), s in savings.items():
         lines.append(f"  delay {d:2d}h gate {g:.2f}: {s * 100:5.1f}% "
                      f"(wait {waits[(d, g)]:.2f} h)")
+    lines.append("")
+    lines.append(f"sweep: {table.stats.n_cells} cells, "
+                 f"{table.stats.mode}, workers={table.stats.workers}, "
+                 f"{table.stats.wall_s:.1f} s wall")
     report("E19 — carbon-backfill knob ablation (extension)",
            "\n".join(lines))

@@ -6,37 +6,128 @@ tabulate a few scalar outcomes against a baseline.  This module is that
 shape, factored out:
 
 * :func:`sweep` — run ``scenario(**params)`` over a parameter grid and
-  collect named metrics;
+  collect named metrics (``workers=N`` shards the grid across a process
+  pool via :mod:`repro.parallel`; output is bit-identical to serial);
 * :class:`SweepResult` — the table, with baseline-relative savings and
-  an ASCII rendering.
+  an ASCII rendering;
+* :class:`CellFailure` / :exc:`SweepCellError` — how a failing cell is
+  reported without (non-strict) or with (strict) killing the sweep;
+* :class:`SweepStats` — how the sweep ran: wall clock, per-cell times,
+  execution mode (and, for fallbacks, why).
 
-The scenario callable owns all seeding; the harness adds none (sweeps
-must be exactly reproducible).
+The scenario callable owns all seeding; the harness adds none unless an
+explicit ``base_seed`` is given, in which case each cell receives
+``derive_seed(base_seed, cell_index)`` keyed on its *canonical grid
+position* — never on worker count or completion order (sweeps must be
+exactly reproducible).
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["SweepResult", "sweep"]
+__all__ = [
+    "CellFailure",
+    "SweepCellError",
+    "SweepResult",
+    "SweepStats",
+    "sweep",
+]
+
+
+@dataclass
+class CellFailure:
+    """One failed sweep cell: its grid position, params, and exception.
+
+    In non-strict sweeps these accumulate on
+    :attr:`SweepResult.failures` instead of killing the run; the
+    remaining cells still execute.
+    """
+
+    index: int
+    params: Dict[str, Any]
+    error: BaseException
+    traceback_text: str = ""
+
+    def describe(self) -> str:
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return (f"cell #{self.index} ({kv}): "
+                f"{type(self.error).__name__}: {self.error}")
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell failed in strict mode.
+
+    Names the offending parameter assignment; the original exception is
+    chained as ``__cause__`` and kept on :attr:`failure`.
+    """
+
+    def __init__(self, failure: CellFailure):
+        super().__init__(f"sweep scenario failed at {failure.describe()}")
+        self.failure = failure
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.failure.params
+
+
+@dataclass
+class SweepStats:
+    """Execution record of one sweep run.
+
+    ``cell_times_s`` is ordered by canonical cell index over the cells
+    that actually executed (all of them, except after a strict abort).
+    ``mode`` is ``"serial"``, ``"process-pool"``, or
+    ``"serial-fallback"`` (with ``fallback_reason`` saying why the pool
+    was not used).  Wall clock includes pool startup — speedup claims
+    must pay for their own overhead.
+    """
+
+    n_cells: int
+    n_chunks: int
+    workers: int
+    mode: str
+    wall_s: float
+    cell_times_s: List[float] = field(default_factory=list)
+    fallback_reason: Optional[str] = None
+
+    @property
+    def cell_time_total_s(self) -> float:
+        """Sum of per-cell compute time (serial-equivalent work)."""
+        return sum(self.cell_times_s)
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Aggregate cell time / wall time — 1.0 means no overlap."""
+        if self.wall_s <= 0:
+            return 1.0
+        return self.cell_time_total_s / self.wall_s
 
 
 @dataclass
 class SweepResult:
-    """Outcome table of one parameter sweep."""
+    """Outcome table of one parameter sweep.
+
+    ``rows`` holds the successful cells in canonical grid order;
+    ``failures`` the failed ones (non-strict mode only — strict sweeps
+    raise instead).  Table semantics (``column``/``best``/
+    ``relative_to``/``render``) are over ``rows`` alone.
+    """
 
     param_names: List[str]
     metric_names: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
+    stats: Optional[SweepStats] = None
 
     def column(self, name: str) -> List[Any]:
         """All values of one parameter or metric, in row order."""
-        if self.rows and name not in self.rows[0]:
+        known = (self.rows[0].keys() if self.rows
+                 else set(self.param_names) | set(self.metric_names))
+        if name not in known:
             raise KeyError(
-                f"unknown column {name!r}; have "
-                f"{sorted(self.rows[0])}")
+                f"unknown column {name!r}; have {sorted(known)}")
         return [r[name] for r in self.rows]
 
     def best(self, metric: str, minimize: bool = True) -> Dict[str, Any]:
@@ -70,33 +161,27 @@ class SweepResult:
 
 def sweep(scenario: Callable[..., Mapping[str, float]],
           grid: Mapping[str, Sequence[Any]],
-          metric_names: Optional[Sequence[str]] = None) -> SweepResult:
+          metric_names: Optional[Sequence[str]] = None,
+          *,
+          workers: Optional[int] = 1,
+          chunk_size: int = 0,
+          strict: bool = True,
+          base_seed: Optional[int] = None,
+          seed_param: str = "seed") -> SweepResult:
     """Run ``scenario`` over the Cartesian product of ``grid``.
 
     ``scenario(**params)`` must return a mapping of metric name ->
     value; metric names are taken from the first row unless given.
     Parameter order in the result follows the grid's key order.
+
+    ``workers=1`` (the default) runs serially in-process; ``workers=N``
+    shards the grid across a process pool, and ``workers=None`` or
+    ``0`` sizes the pool to the machine.  Parallel rows are
+    bit-identical to serial rows — see :mod:`repro.parallel` for the
+    determinism contract and the remaining keyword arguments.
     """
-    if not grid:
-        raise ValueError("empty parameter grid")
-    names = list(grid)
-    for n, values in grid.items():
-        if not values:
-            raise ValueError(f"parameter {n!r} has no values")
-    result: Optional[SweepResult] = None
-    for combo in itertools.product(*(grid[n] for n in names)):
-        params = dict(zip(names, combo))
-        metrics = dict(scenario(**params))
-        if result is None:
-            result = SweepResult(
-                param_names=names,
-                metric_names=(list(metric_names) if metric_names
-                              else sorted(metrics)))
-        missing = set(result.metric_names) - set(metrics)
-        if missing:
-            raise ValueError(f"scenario omitted metrics {sorted(missing)}")
-        row = dict(params)
-        row.update({m: metrics[m] for m in result.metric_names})
-        result.rows.append(row)
-    assert result is not None
-    return result
+    from repro.parallel.executor import run_sweep
+    return run_sweep(scenario, grid, metric_names,
+                     workers=workers, chunk_size=chunk_size,
+                     strict=strict, base_seed=base_seed,
+                     seed_param=seed_param)

@@ -16,6 +16,7 @@ command                what it does
 ``lint``               dimensional-consistency linter (repro.lint)
 ``service stats``      drive the carbon serving layer, print its metrics
 ``service query``      one intensity lookup through the serving layer
+``sweep``              run a registered scenario grid (repro.parallel)
 ====================  ====================================================
 
 Everything prints to stdout; machine-readable exports go through
@@ -117,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--signal", choices=["marginal", "average"],
                    default="marginal")
     q.add_argument("--seed", type=int, default=0)
+
+    sw = sub.add_parser(
+        "sweep", help="run a registered scenario grid (see repro.parallel)")
+    sw.add_argument("scenario", nargs="?", default=None,
+                    help="registered sweep name (omit with --list)")
+    sw.add_argument("--list", action="store_true", dest="list_sweeps",
+                    help="list registered sweeps and exit")
+    sw.add_argument("--workers", type=int, default=1,
+                    help="process-pool size; 1 = serial in-process, "
+                         "0 = one per CPU (default: 1)")
+    sw.add_argument("--chunk-size", type=int, default=0,
+                    help="cells per chunk (default: auto, ~4 chunks "
+                         "per worker)")
+    sw.add_argument("--no-strict", action="store_true",
+                    help="report failing cells in the output instead "
+                         "of aborting the sweep")
+    sw.add_argument("--set", action="append", default=[], metavar="P=V,V",
+                    dest="overrides",
+                    help="override one grid parameter's value list, "
+                         "e.g. --set max_delay_h=3,6,12")
     return p
 
 
@@ -322,6 +343,71 @@ def _cmd_service_query(args) -> None:
           f"t={args.at_hours:g}h: {value:.1f} gCO2e/kWh")
 
 
+def _parse_grid_overrides(pairs):
+    """``["p=1,2", "q=a,b"]`` -> ``{"p": [1.0, 2.0], "q": ["a", "b"]}``.
+
+    Values parse as numbers when they look numeric, else stay strings.
+    """
+    def parse_value(text: str):
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+    overrides = {}
+    for pair in pairs:
+        name, sep, values = pair.partition("=")
+        if not sep or not name or not values:
+            raise SystemExit(
+                f"bad --set {pair!r}: expected PARAM=V1,V2,...")
+        overrides[name] = [parse_value(v) for v in values.split(",")]
+    return overrides
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sweep import SweepCellError
+    from repro.parallel import available_sweeps, run_registered
+
+    if args.list_sweeps:
+        specs = available_sweeps()
+        print(f"{'name':>16s} {'cells':>6s}  description")
+        for spec in specs:
+            print(f"{spec.name:>16s} {spec.cell_count():6d}  "
+                  f"{spec.description}")
+        return 0
+    if args.scenario is None:
+        raise SystemExit("sweep: name a registered scenario "
+                         "(or use --list)")
+    try:
+        result = run_registered(
+            args.scenario,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            strict=not args.no_strict,
+            grid_overrides=_parse_grid_overrides(args.overrides))
+    except (KeyError, ValueError) as e:
+        raise SystemExit(f"sweep: {e.args[0] if e.args else e}")
+    except SweepCellError as e:
+        raise SystemExit(f"sweep: {e}")
+
+    print(result.render())
+    for failure in result.failures:
+        print(f"FAILED {failure.describe()}")
+    s = result.stats
+    print()
+    print(f"{s.n_cells} cells in {s.wall_s:.2f} s wall "
+          f"({s.mode}, workers={s.workers}, chunks={s.n_chunks})")
+    print(f"cell time total {s.cell_time_total_s:.2f} s -> "
+          f"speedup {s.effective_parallelism:.2f}x over one-by-one")
+    if s.fallback_reason:
+        print(f"serial fallback: {s.fallback_reason}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run
     try:
@@ -355,6 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_service_stats(args)
         else:
             _cmd_service_query(args)
+    elif args.command == "sweep":
+        return _cmd_sweep(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -1,0 +1,238 @@
+"""Process-pool sweep executor with serial-parity guarantees.
+
+This is the engine behind ``repro.analysis.sweep.sweep(..., workers=N)``
+and the ``repro sweep`` CLI.  It shards a parameter grid into
+deterministic chunks (:mod:`repro.parallel.grid`), evaluates
+``scenario(**params)`` cells across a ``ProcessPoolExecutor``, and
+merges per-chunk results back in canonical grid order.
+
+Determinism contract (DESIGN.md §5d):
+
+1. **Canonical order** — rows are merged by cell index in
+   ``itertools.product`` order, never by completion order.
+2. **Index-keyed seeds** — with ``base_seed`` set, each cell receives
+   ``derive_seed(base_seed, cell_index)``; seeds are a pure function of
+   grid position, so the worker count cannot leak into results.
+3. **No harness randomness** — chunk planning is deterministic; the OS
+   may schedule chunks in any order without observable effect.
+
+Consequently ``run_sweep(..., workers=k)`` produces rows bit-identical
+to ``workers=1`` for every ``k`` (pinned by ``tests/parallel``).
+
+The serial in-process path engages when ``workers`` resolves to 1, when
+the grid has a single cell (a pool cannot help), or when the scenario or
+its parameters cannot be pickled (closures, lambdas, bound locals);
+``SweepStats.mode``/``fallback_reason`` record which.  Failing cells are
+captured as :class:`~repro.analysis.sweep.CellFailure` — in non-strict
+mode they land on ``result.failures`` while every other cell still
+runs (the pool is not poisoned); in strict mode the lowest-index
+failure is re-raised as :exc:`~repro.analysis.sweep.SweepCellError`
+naming the offending parameters.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.sweep import (
+    CellFailure,
+    SweepCellError,
+    SweepResult,
+    SweepStats,
+)
+from repro.parallel.grid import chunk_count, expand_grid, plan_chunks
+from repro.parallel.seeds import derive_seed
+
+__all__ = ["run_sweep"]
+
+#: (cell_index, elapsed_s, metrics | None, error | None, traceback_text)
+_Outcome = Tuple[int, float, Optional[Dict[str, Any]],
+                 Optional[BaseException], str]
+
+
+def _portable_error(error: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a stand-in.
+
+    Worker exceptions cross a process boundary; an unpicklable one
+    (e.g. carrying an open handle) must not take the whole sweep down
+    with a ``PicklingError``, so it degrades to a ``RuntimeError``
+    carrying the original type name and message.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _run_cells(scenario: Callable[..., Mapping[str, float]],
+               indexed_cells: Sequence[Tuple[int, Dict[str, Any]]],
+               stop_on_error: bool) -> List[_Outcome]:
+    """Evaluate cells in order; the worker side of one chunk.
+
+    Must stay module-level (pickled by reference into pool workers).
+    """
+    out: List[_Outcome] = []
+    for index, params in indexed_cells:
+        t0 = time.perf_counter()
+        try:
+            metrics = dict(scenario(**params))
+        except Exception as error:  # cell fault, not harness fault
+            out.append((index, time.perf_counter() - t0, None,
+                        _portable_error(error), traceback.format_exc()))
+            if stop_on_error:
+                break
+        else:
+            out.append((index, time.perf_counter() - t0, metrics,
+                        None, ""))
+    return out
+
+
+def _pool_obstacle(scenario: Callable[..., Any],
+                   cells: Sequence[Dict[str, Any]]) -> Optional[str]:
+    """Why the process pool cannot be used, or ``None`` if it can."""
+    try:
+        pickle.dumps(scenario)
+    except Exception:
+        return ("scenario is not picklable (closure, lambda, or "
+                "locally-defined callable) — ran serially in-process")
+    try:
+        pickle.dumps(list(cells))
+    except Exception:
+        return "grid values are not picklable — ran serially in-process"
+    return None
+
+
+def _check_seed_param(scenario: Callable[..., Any],
+                      seed_param: str) -> None:
+    """Fail early if the scenario cannot accept the injected seed."""
+    try:
+        sig = inspect.signature(scenario)
+    except (TypeError, ValueError):  # builtins, C callables: trust caller
+        return
+    params = sig.parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in params.values()):
+        return
+    p = params.get(seed_param)
+    if p is None or p.kind is inspect.Parameter.POSITIONAL_ONLY:
+        raise ValueError(
+            f"base_seed given but scenario {scenario!r} does not accept "
+            f"a {seed_param!r} keyword argument")
+
+
+def _merge(names: List[str],
+           cells: Sequence[Dict[str, Any]],
+           outcomes: List[_Outcome],
+           metric_names: Optional[Sequence[str]]) -> SweepResult:
+    """Fold per-cell outcomes (any arrival order) into a SweepResult."""
+    outcomes.sort(key=lambda o: o[0])
+    resolved: Optional[List[str]] = (list(metric_names)
+                                     if metric_names else None)
+    result = SweepResult(param_names=names, metric_names=[])
+    for index, _elapsed, metrics, error, tb_text in outcomes:
+        if error is not None:
+            result.failures.append(CellFailure(
+                index=index, params=dict(cells[index]),
+                error=error, traceback_text=tb_text))
+            continue
+        assert metrics is not None
+        if resolved is None:  # first *successful* cell fixes the schema
+            resolved = sorted(metrics)
+        missing = set(resolved) - set(metrics)
+        if missing:
+            raise ValueError(
+                f"scenario omitted metrics {sorted(missing)}")
+        row = dict(cells[index])
+        row.update({m: metrics[m] for m in resolved})
+        result.rows.append(row)
+    result.metric_names = resolved or []
+    return result
+
+
+def run_sweep(scenario: Callable[..., Mapping[str, float]],
+              grid: Mapping[str, Sequence[Any]],
+              metric_names: Optional[Sequence[str]] = None,
+              *,
+              workers: Optional[int] = 1,
+              chunk_size: int = 0,
+              strict: bool = True,
+              base_seed: Optional[int] = None,
+              seed_param: str = "seed") -> SweepResult:
+    """Evaluate ``scenario`` over ``grid``, optionally across processes.
+
+    Parameters mirror :func:`repro.analysis.sweep.sweep`; this is the
+    single implementation behind both the serial and parallel paths, so
+    their semantics cannot drift apart.
+    """
+    if workers is None or workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 or None, got {workers}")
+    names, cells = expand_grid(grid)
+    if base_seed is not None:
+        _check_seed_param(scenario, seed_param)
+
+    def call_params(index: int) -> Dict[str, Any]:
+        p = dict(cells[index])
+        if base_seed is not None:
+            p[seed_param] = derive_seed(base_seed, index)
+        return p
+
+    indexed = [(i, call_params(i)) for i in range(len(cells))]
+
+    mode = "process-pool" if workers > 1 else "serial"
+    fallback_reason: Optional[str] = None
+    if workers > 1:
+        if len(cells) == 1:
+            mode, fallback_reason = "serial-fallback", (
+                "single-cell grid — a pool cannot help")
+        else:
+            obstacle = _pool_obstacle(scenario, [p for _, p in indexed])
+            if obstacle is not None:
+                mode, fallback_reason = "serial-fallback", obstacle
+
+    t0 = time.perf_counter()
+    if mode == "process-pool":
+        plan = plan_chunks(
+            len(cells), chunk_count(len(cells), workers, chunk_size))
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(plan))) as pool:
+            futures = [pool.submit(_run_cells, scenario,
+                                   [indexed[i] for i in chunk], strict)
+                       for chunk in plan]
+            outcomes: List[_Outcome] = []
+            for f in futures:
+                outcomes.extend(f.result())
+        n_chunks = len(plan)
+    else:
+        outcomes = _run_cells(scenario, indexed, stop_on_error=strict)
+        n_chunks = 1
+    wall_s = time.perf_counter() - t0
+
+    result = _merge(names, cells, outcomes, metric_names)
+    result.stats = SweepStats(
+        n_cells=len(cells), n_chunks=n_chunks, workers=workers,
+        mode=mode, wall_s=wall_s,
+        cell_times_s=[o[1] for o in sorted(outcomes,
+                                           key=lambda o: o[0])],
+        fallback_reason=fallback_reason)
+    if strict and result.failures:
+        first = min(result.failures, key=lambda fl: fl.index)
+        raise SweepCellError(first) from first.error
+    return result

@@ -64,3 +64,23 @@ class TestSweep:
         r = SweepResult(param_names=["x"], metric_names=["m"])
         with pytest.raises(ValueError):
             r.best("m")
+
+    def test_empty_result_column_still_validates_name(self):
+        """Regression: the unknown-column KeyError used to be skipped
+        when ``rows`` was empty (only ``rows[0]`` was consulted), so a
+        typo against an empty sweep silently returned ``[]``."""
+        r = SweepResult(param_names=["x"], metric_names=["m"])
+        with pytest.raises(KeyError, match="unknown column"):
+            r.column("nope")
+        assert r.column("x") == []
+        assert r.column("m") == []
+
+    def test_workers_kwarg_routes_through_parallel_executor(self):
+        """`sweep(..., workers=N)` is the documented entry point to
+        repro.parallel; rows must match the serial path exactly."""
+        serial = sweep(quadratic_scenario, {"x": [0.0, 1.0, 2.0]})
+        parallel = sweep(quadratic_scenario, {"x": [0.0, 1.0, 2.0]},
+                         workers=2)
+        assert parallel.rows == serial.rows
+        assert serial.stats.mode == "serial"
+        assert parallel.stats.mode == "process-pool"

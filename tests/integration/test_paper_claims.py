@@ -1,0 +1,103 @@
+"""Paper-claims regression suite: the headline numbers, pinned.
+
+Every quantitative claim the reproduction makes about the source paper
+(Fig. 1/Fig. 2 in-text values, §2.3 lifecycle factors) is recomputed
+here through the *public API* and pinned with explicit tolerances.
+The benchmarks print these numbers; this module is the tier-1 gate
+that refuses to let a refactor drift them — including refactors of the
+sweep machinery itself, which is why the share claims are also routed
+through the parallel executor.
+
+Tolerance convention:
+* model-calibrated values (intensity ratio, daily sigma, reuse factor)
+  are pinned tight — they are deterministic functions of seeds and
+  calibration constants, so any drift is a behavior change;
+* the Fig. 1 shares are pinned to the paper's quoted precision
+  (±1 percentage point), matching the E1 bench.
+"""
+
+import pytest
+
+from repro.analysis import zone_ratio, zone_statistics_table
+from repro.embodied import (
+    HAWK,
+    JUWELS_BOOSTER,
+    KNOWN_SYSTEMS,
+    SUPERMUC_NG,
+    memory_storage_share,
+    reuse_vs_recycle_factor,
+)
+from repro.parallel import run_sweep
+
+#: Fig. 1 in-text claim: memory+storage share of embodied carbon.
+PAPER_MEMORY_STORAGE_SHARES = {
+    "Juwels Booster": 0.435,
+    "SuperMUC-NG": 0.596,
+    "Hawk": 0.555,
+}
+
+
+class TestFig2IntensityClaims:
+    def test_fi_fr_ratio_is_2_1x(self):
+        """'Finland averaged 2.1x France' (Fig. 2 in-text)."""
+        assert zone_ratio("FI", "FR", seed=0) == pytest.approx(
+            2.1, rel=1e-9)
+
+    def test_fi_daily_sigma_47_21(self):
+        """'sigma = 47.21 gCO2/kWh for the Finnish daily series'."""
+        rows = zone_statistics_table(["FI"], seed=0)
+        (fi,) = rows
+        assert fi["daily_std"] == pytest.approx(47.21, abs=1e-6)
+
+    def test_january_coverage_backs_the_statistics(self):
+        """The claims are monthly statistics — 31 days must back them."""
+        rows = zone_statistics_table(["FI", "FR"], seed=0)
+        assert all(r["n_days"] == 31 for r in rows)
+
+
+def memory_storage_cell(system_name):
+    """Sweep cell over KNOWN_SYSTEMS — picklable, public-API only."""
+    return {"share": memory_storage_share(KNOWN_SYSTEMS[system_name])}
+
+
+class TestFig1EmbodiedClaims:
+    @pytest.mark.parametrize("system,target", [
+        (JUWELS_BOOSTER, 0.435),
+        (SUPERMUC_NG, 0.596),
+        (HAWK, 0.555),
+    ], ids=lambda v: getattr(v, "name", str(v)))
+    def test_memory_storage_share(self, system, target):
+        """'memory and storage account for 43.5/59.6/55.5% of embodied
+        carbon' — pinned at the paper's quoted precision."""
+        assert memory_storage_share(system) == pytest.approx(
+            target, abs=0.01)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_shares_survive_the_parallel_sweep_layer(self, workers):
+        """The same claim, computed as a sweep grid: the executor must
+        deliver identical shares at any worker count."""
+        result = run_sweep(
+            memory_storage_cell,
+            {"system_name": sorted(PAPER_MEMORY_STORAGE_SHARES)},
+            workers=workers)
+        measured = dict(zip(result.column("system_name"),
+                            result.column("share")))
+        for name, target in PAPER_MEMORY_STORAGE_SHARES.items():
+            assert measured[name] == pytest.approx(target, abs=0.01)
+
+
+class TestLifecycleClaims:
+    def test_hdd_reuse_275x_recycling(self):
+        """'reusing HDDs leads to 275x more carbon emissions reductions
+        than recycling' (§2.3)."""
+        assert reuse_vs_recycle_factor("hdd") == pytest.approx(
+            275.0, rel=1e-9)
+
+    def test_reuse_beats_recycling_for_every_component_class(self):
+        """The qualitative §2.3 claim behind the 275x headline."""
+        from repro.embodied.lifecycle import REUSE_EFFECTIVENESS
+        factors = {k: reuse_vs_recycle_factor(k)
+                   for k in REUSE_EFFECTIVENESS}
+        assert all(f > 1.0 for f in factors.values())
+        # and HDD is the extreme case the paper chose to quote
+        assert max(factors, key=factors.get) == "hdd"

@@ -47,3 +47,22 @@ class TestServicePackageCovered:
         assert not findings, (
             "repro.lint found problems in src/repro/service:\n"
             + render_text(findings))
+
+
+class TestParallelPackageCovered:
+    """The sweep executor carries wall-clock seconds, per-cell times,
+    and scenario metrics in carbon units — it stays under the same
+    dimensional-consistency gate as the rest of the carbon stack."""
+
+    def test_parallel_package_is_in_the_scanned_tree(self):
+        parallel = SRC / "parallel"
+        assert parallel.is_dir()
+        modules = {p.name for p in parallel.glob("*.py")}
+        assert {"executor.py", "grid.py", "registry.py",
+                "scenarios.py", "seeds.py"} <= modules
+
+    def test_parallel_package_is_clean(self):
+        findings = lint_paths([SRC / "parallel"])
+        assert not findings, (
+            "repro.lint found problems in src/repro/parallel:\n"
+            + render_text(findings))

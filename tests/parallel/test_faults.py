@@ -1,0 +1,116 @@
+"""Failure capture: a broken cell must not take the sweep down with it.
+
+Non-strict mode turns a raising cell into ``(params, exception)`` on
+``result.failures`` while every other cell still runs (the pool is not
+poisoned).  Strict mode re-raises as ``SweepCellError`` naming the
+offending parameter assignment, with the original exception chained.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.sweep import CellFailure, SweepCellError
+from repro.parallel import run_sweep
+
+GRID = {"x": [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]}
+
+
+def brittle_cell(x):
+    """Fails on exactly one cell of GRID."""
+    if x == 3.0:
+        raise ValueError(f"cannot handle x={x}")
+    return {"m": x * 10.0}
+
+
+def half_broken_cell(x):
+    """Fails on half the grid — exercises multi-failure capture."""
+    if int(x) % 2 == 1:
+        raise RuntimeError(f"odd lane {x}")
+    return {"m": x}
+
+
+class Unpicklable(Exception):
+    def __init__(self, msg):
+        super().__init__(msg)
+        self.handle = lambda: None  # lambdas never pickle
+
+
+def unpicklable_failure_cell(x):
+    if x == 1.0:
+        raise Unpicklable("held an open handle")
+    return {"m": x}
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+class TestNonStrict:
+    def test_failure_reported_as_params_and_exception(self, workers):
+        r = run_sweep(brittle_cell, GRID, workers=workers, strict=False)
+        assert len(r.failures) == 1
+        failure = r.failures[0]
+        assert isinstance(failure, CellFailure)
+        assert failure.params == {"x": 3.0}
+        assert isinstance(failure.error, ValueError)
+        assert "x=3.0" in str(failure.error)
+        assert failure.index == 3
+
+    def test_pool_not_poisoned_remaining_cells_complete(self, workers):
+        r = run_sweep(brittle_cell, GRID, workers=workers, strict=False)
+        assert r.column("x") == [0.0, 1.0, 2.0, 4.0, 5.0]
+        assert r.column("m") == [0.0, 10.0, 20.0, 40.0, 50.0]
+
+    def test_many_failures_all_captured_in_order(self, workers):
+        r = run_sweep(half_broken_cell, GRID, workers=workers,
+                      strict=False)
+        assert [f.index for f in r.failures] == [1, 3, 5]
+        assert [f.params["x"] for f in r.failures] == [1.0, 3.0, 5.0]
+        assert r.column("x") == [0.0, 2.0, 4.0]
+
+    def test_failures_identical_serial_vs_parallel(self, workers):
+        serial = run_sweep(half_broken_cell, GRID, workers=1,
+                           strict=False)
+        parallel = run_sweep(half_broken_cell, GRID, workers=workers,
+                             strict=False)
+        assert parallel.rows == serial.rows
+        assert ([(f.index, f.params, type(f.error), str(f.error))
+                 for f in parallel.failures]
+                == [(f.index, f.params, type(f.error), str(f.error))
+                    for f in serial.failures])
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+class TestStrict:
+    def test_reraises_naming_offending_params(self, workers):
+        with pytest.raises(SweepCellError, match=r"x=3\.0") as excinfo:
+            run_sweep(brittle_cell, GRID, workers=workers, strict=True)
+        assert excinfo.value.params == {"x": 3.0}
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_lowest_index_failure_wins(self, workers):
+        """Deterministic choice regardless of which chunk finishes
+        first: the reported cell is the one the serial loop would have
+        hit."""
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sweep(half_broken_cell, GRID, workers=workers,
+                      strict=True)
+        assert excinfo.value.failure.index == 1
+
+
+class TestWorkerBoundary:
+    def test_unpicklable_exception_degrades_gracefully(self):
+        r = run_sweep(unpicklable_failure_cell, {"x": [0.0, 1.0, 2.0]},
+                      workers=2, strict=False)
+        assert r.column("x") == [0.0, 2.0]
+        assert len(r.failures) == 1
+        # the stand-in still names the original type and message
+        assert "Unpicklable" in str(r.failures[0].error)
+        assert "open handle" in str(r.failures[0].error)
+        pickle.dumps(r.failures[0].error)  # and is itself portable
+
+    def test_traceback_text_travels_with_the_failure(self):
+        r = run_sweep(brittle_cell, GRID, workers=2, strict=False)
+        assert "brittle_cell" in r.failures[0].traceback_text
+
+    def test_base_seed_requires_seed_parameter(self):
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep(brittle_cell, GRID, workers=1, base_seed=7)

@@ -1,0 +1,92 @@
+"""Property tests (hypothesis) for SweepResult table invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.parallel import run_sweep
+
+FINITE = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+
+
+def metric_cell(x, y=0.0):
+    return {"loss": (x - 2.0) ** 2 + y, "lin": x + y}
+
+
+GRID_VALUES = st.lists(FINITE, min_size=1, max_size=6, unique=True)
+
+
+@st.composite
+def sweep_results(draw):
+    grid = {"x": draw(GRID_VALUES)}
+    if draw(st.booleans()):
+        grid["y"] = draw(GRID_VALUES)
+    return run_sweep(metric_cell, grid, workers=1)
+
+
+class TestSweepResultInvariants:
+    @given(result=sweep_results(), minimize=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_best_row_is_a_member_of_rows(self, result, minimize):
+        best = result.best("loss", minimize=minimize)
+        assert best in result.rows
+
+    @given(result=sweep_results())
+    @settings(max_examples=60, deadline=None)
+    def test_best_actually_optimizes(self, result):
+        losses = result.column("loss")
+        assert result.best("loss")["loss"] == min(losses)
+        assert result.best("loss", minimize=False)["loss"] == max(losses)
+
+    @given(result=sweep_results(),
+           baseline=st.floats(min_value=1e-6, max_value=1e9,
+                              allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_relative_to_sign_matches_baseline_comparison(
+            self, result, baseline):
+        """Positive saving iff the row's value is below the baseline,
+        zero iff equal — the sign convention every ablation bench
+        relies on when it claims 'every configuration saves carbon'."""
+        rel = result.relative_to("loss", baseline)
+        for r, saving in zip(result.rows, rel):
+            if r["loss"] < baseline:
+                assert saving > 0
+            elif r["loss"] > baseline:
+                assert saving < 0
+            else:
+                assert saving == 0
+            assert math.isclose(saving,
+                                (baseline - r["loss"]) / baseline,
+                                rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(result=sweep_results())
+    @settings(max_examples=60, deadline=None)
+    def test_column_round_trips_rows(self, result):
+        for name in result.param_names + result.metric_names:
+            assert result.column(name) == [r[name] for r in result.rows]
+
+    @given(result=sweep_results())
+    @settings(max_examples=30, deadline=None)
+    def test_unknown_column_always_keyerror(self, result):
+        with pytest.raises(KeyError, match="unknown column"):
+            result.column("no_such_column")
+
+
+class TestEmptyResult:
+    """Regression: the unknown-column KeyError must fire even when no
+    rows exist yet (previously ``column`` only consulted ``rows[0]``
+    and silently returned ``[]`` for any name)."""
+
+    def test_unknown_column_keyerror_on_empty_rows(self):
+        r = SweepResult(param_names=["x"], metric_names=["loss"])
+        with pytest.raises(KeyError, match="unknown column"):
+            r.column("nope")
+
+    def test_known_columns_yield_empty_lists(self):
+        r = SweepResult(param_names=["x"], metric_names=["loss"])
+        assert r.column("x") == []
+        assert r.column("loss") == []
