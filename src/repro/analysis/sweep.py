@@ -179,6 +179,11 @@ def sweep(scenario: Callable[..., Mapping[str, float]],
     ``0`` sizes the pool to the machine.  Parallel rows are
     bit-identical to serial rows — see :mod:`repro.parallel` for the
     determinism contract and the remaining keyword arguments.
+
+    With :mod:`repro.obs` tracing enabled, every cell is wrapped in a
+    ``sweep.cell`` span — pool workers ship their spans back with each
+    outcome, so the whole sweep renders as one merged timeline
+    (``repro obs trace``).  Tracing never changes the rows.
     """
     from repro.parallel.executor import run_sweep
     return run_sweep(scenario, grid, metric_names,

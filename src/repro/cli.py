@@ -17,6 +17,9 @@ command                what it does
 ``service stats``      drive the carbon serving layer, print its metrics
 ``service query``      one intensity lookup through the serving layer
 ``sweep``              run a registered scenario grid (repro.parallel)
+``obs trace``          traced sweep -> Chrome/JSONL timeline (repro.obs)
+``obs stats``          instrumented run -> Prometheus text exposition
+``obs top``            rank the slowest spans of a trace
 ====================  ====================================================
 
 Everything prints to stdout; machine-readable exports go through
@@ -138,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="overrides",
                     help="override one grid parameter's value list, "
                          "e.g. --set max_delay_h=3,6,12")
+
+    from repro.obs.cli import add_obs_subparsers
+    add_obs_subparsers(sub.add_parser(
+        "obs", help="observability: tracing, metrics, profiling "
+                    "(see repro.obs)"))
     return p
 
 
@@ -443,6 +451,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             _cmd_service_query(args)
     elif args.command == "sweep":
         return _cmd_sweep(args)
+    elif args.command == "obs":
+        from repro.obs.cli import run as _obs_run
+        return _obs_run(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces choices

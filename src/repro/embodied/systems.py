@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.embodied.components import (
     ChipletSpec,
     ComponentCarbon,
@@ -227,18 +228,27 @@ def system_embodied_breakdown(system: SystemInventory) -> Dict[str, float]:
     Keys: ``"cpu"``, ``"gpu"``, ``"memory"``, ``"storage"`` and the
     derived ``"total"``.  Networking is omitted, as in the paper.
     """
-    cpu_kg = cpu_carbon(system.cpu).total_kg * system.n_cpus
-    gpu_kg = (gpu_carbon(system.gpu).total_kg * system.n_gpus
-              if system.gpu is not None and system.n_gpus else 0.0)
-    mem_kg = dram_carbon(system.dram_pb * GB_PER_PB,
-                         system.dram_generation).total_kg
-    sto_kg = system.storage_mix.carbon(system.storage_pb * GB_PER_PB).total_kg
+    with obs.span("embodied.breakdown",
+                  attrs={"system": system.name}) as span:
+        with obs.span("embodied.act.cpu"):
+            cpu_kg = cpu_carbon(system.cpu).total_kg * system.n_cpus
+        with obs.span("embodied.act.gpu"):
+            gpu_kg = (gpu_carbon(system.gpu).total_kg * system.n_gpus
+                      if system.gpu is not None and system.n_gpus else 0.0)
+        with obs.span("embodied.act.memory"):
+            mem_kg = dram_carbon(system.dram_pb * GB_PER_PB,
+                                 system.dram_generation).total_kg
+        with obs.span("embodied.act.storage"):
+            sto_kg = system.storage_mix.carbon(
+                system.storage_pb * GB_PER_PB).total_kg
+        total_kg = cpu_kg + gpu_kg + mem_kg + sto_kg
+        span.set_attr("total_kg", total_kg)
     return {
         "cpu": cpu_kg,
         "gpu": gpu_kg,
         "memory": mem_kg,
         "storage": sto_kg,
-        "total": cpu_kg + gpu_kg + mem_kg + sto_kg,
+        "total": total_kg,
     }
 
 

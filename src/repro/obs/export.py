@@ -1,0 +1,186 @@
+"""Trace exporters and span analytics: JSONL, Chrome tracing, top-N.
+
+Two interchange formats:
+
+* **JSONL** — one :meth:`~repro.obs.trace.Span.to_dict` object per
+  line; lossless, append-friendly, and what ``repro obs top --trace``
+  reads back.
+* **Chrome trace-event JSON** — the ``chrome://tracing`` /
+  https://ui.perfetto.dev format: complete (``"ph": "X"``) events with
+  microsecond timestamps, one ``pid`` lane per recording process, so a
+  parallel sweep's worker spans render as a single aligned timeline
+  next to the parent's.
+
+Plus the aggregation behind ``repro obs stats``/``top``:
+:func:`span_stats` folds spans into per-name totals and
+:func:`slowest_spans` ranks individual spans by duration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "SpanStat",
+    "merge_spans",
+    "read_jsonl",
+    "render_stats_table",
+    "slowest_spans",
+    "span_stats",
+    "to_chrome",
+    "to_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]
+
+#: Chrome trace events carry integer microsecond timestamps.
+_US_PER_S = 1e6
+
+
+def merge_spans(*span_groups: Iterable[Span]) -> List[Span]:
+    """Concatenate span groups into one timeline-ordered list.
+
+    Ordering is deterministic for a given set of spans: by start time,
+    then recording process, then span id — so a merged multi-process
+    trace always renders identically.
+    """
+    merged = [s for group in span_groups for s in group]
+    merged.sort(key=lambda s: (s.start_s, s.pid, s.span_id))
+    return merged
+
+
+# -- JSONL -----------------------------------------------------------------
+
+
+def to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, timeline-ordered."""
+    return "".join(json.dumps(s.to_dict(), sort_keys=True) + "\n"
+                   for s in merge_spans(spans))
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> int:
+    """Write spans as JSONL; returns the number written."""
+    text = to_jsonl(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Read spans back from a JSONL trace file."""
+    out: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Span.from_dict(json.loads(line)))
+    return out
+
+
+# -- Chrome trace-event format ------------------------------------------------
+
+
+def _category(name: str) -> str:
+    """Top-level dotted prefix — Chrome's filterable category."""
+    return name.split(".", 1)[0] if "." in name else name
+
+
+def to_chrome(spans: Iterable[Span]) -> Dict[str, list]:
+    """Spans as a Chrome trace-event JSON object (``traceEvents``).
+
+    Every span becomes one complete event (``"ph": "X"``); worker
+    labels become thread names within the recording process's lane.
+    """
+    events: List[dict] = []
+    seen_lanes = set()
+    for s in merge_spans(spans):
+        tid = s.worker or "main"
+        if (s.pid, tid) not in seen_lanes:
+            seen_lanes.add((s.pid, tid))
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": s.pid,
+                "tid": tid, "args": {"name": tid},
+            })
+        args = dict(s.attrs)
+        if s.error:
+            args["error"] = True
+        events.append({
+            "name": s.name,
+            "cat": _category(s.name),
+            "ph": "X",
+            "ts": s.start_s * _US_PER_S,
+            "dur": s.dur_s * _US_PER_S,
+            "pid": s.pid,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: Iterable[Span], path: str) -> int:
+    """Write a Chrome trace JSON file; returns the span-event count."""
+    doc = to_chrome(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+
+
+# -- aggregation ----------------------------------------------------------------
+
+
+class SpanStat:
+    """Aggregate of all spans sharing one name."""
+
+    __slots__ = ("name", "count", "errors", "total_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.errors += 1 if span.error else 0
+        self.total_s += span.dur_s
+        self.max_s = max(self.max_s, span.dur_s)
+
+
+def span_stats(spans: Iterable[Span]) -> List[SpanStat]:
+    """Per-name aggregates, sorted by total time descending."""
+    by_name: Dict[str, SpanStat] = {}
+    for s in spans:
+        stat = by_name.get(s.name)
+        if stat is None:
+            stat = by_name[s.name] = SpanStat(s.name)
+        stat.add(s)
+    return sorted(by_name.values(),
+                  key=lambda st: (-st.total_s, st.name))
+
+
+def slowest_spans(spans: Iterable[Span], n: int = 10,
+                  name: Optional[str] = None) -> List[Span]:
+    """The ``n`` individually slowest spans (optionally one name only)."""
+    pool = [s for s in spans if name is None or s.name == name]
+    pool.sort(key=lambda s: (-s.dur_s, s.start_s, s.span_id))
+    return pool[:n]
+
+
+def render_stats_table(stats: Sequence[SpanStat]) -> str:
+    """Aligned text table of :func:`span_stats` output."""
+    header = (f"{'span':<28} {'count':>7} {'errors':>7} "
+              f"{'total_s':>10} {'mean_s':>10} {'max_s':>10}")
+    lines = [header, "-" * len(header)]
+    for st in stats:
+        lines.append(f"{st.name:<28} {st.count:>7d} {st.errors:>7d} "
+                     f"{st.total_s:>10.4f} {st.mean_s:>10.6f} "
+                     f"{st.max_s:>10.6f}")
+    return "\n".join(lines)

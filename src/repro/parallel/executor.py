@@ -49,6 +49,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.analysis.sweep import (
     CellFailure,
     SweepCellError,
@@ -60,9 +61,17 @@ from repro.parallel.seeds import derive_seed
 
 __all__ = ["run_sweep"]
 
-#: (cell_index, elapsed_s, metrics | None, error | None, traceback_text)
+#: (cell_index, elapsed_s, metrics | None, error | None, traceback_text,
+#:  span_dicts) — spans recorded around the cell (pool workers only;
+#:  empty serially, where spans land on the live tracer directly)
 _Outcome = Tuple[int, float, Optional[Dict[str, Any]],
-                 Optional[BaseException], str]
+                 Optional[BaseException], str, List[dict]]
+
+#: how `_run_cells` participates in tracing: "off" (the zero-overhead
+#: default), "inline" (serial path: spans go straight to the enabled
+#: process tracer), or "capture" (pool worker: spans are drained after
+#: every cell and shipped back inside the outcome tuple)
+_TRACE_OFF, _TRACE_INLINE, _TRACE_CAPTURE = "off", "inline", "capture"
 
 
 def _portable_error(error: BaseException) -> BaseException:
@@ -82,24 +91,45 @@ def _portable_error(error: BaseException) -> BaseException:
 
 def _run_cells(scenario: Callable[..., Mapping[str, float]],
                indexed_cells: Sequence[Tuple[int, Dict[str, Any]]],
-               stop_on_error: bool) -> List[_Outcome]:
+               stop_on_error: bool,
+               tracing: str = _TRACE_OFF) -> List[_Outcome]:
     """Evaluate cells in order; the worker side of one chunk.
 
     Must stay module-level (pickled by reference into pool workers).
+
+    With ``tracing="capture"`` (pool workers) the process tracer is
+    enabled, pre-existing spans are discarded (fork copies the parent's
+    buffer), and each cell's spans — the ``sweep.cell`` wrapper plus
+    whatever the scenario opened inside it — are drained into the
+    outcome tuple so the parent can merge one coherent timeline.
     """
+    tracer = obs.get_tracer()
+    if tracing == _TRACE_CAPTURE:
+        tracer.enable()
+        tracer.worker = f"worker-{os.getpid()}"
+        tracer.drain()  # drop spans inherited via fork
     out: List[_Outcome] = []
     for index, params in indexed_cells:
         t0 = time.perf_counter()
         try:
-            metrics = dict(scenario(**params))
+            if tracing == _TRACE_OFF:
+                metrics = dict(scenario(**params))
+            else:
+                with obs.span("sweep.cell", attrs={"cell_index": index}):
+                    metrics = dict(scenario(**params))
         except Exception as error:  # cell fault, not harness fault
+            spans = ([s.to_dict() for s in tracer.drain()]
+                     if tracing == _TRACE_CAPTURE else [])
             out.append((index, time.perf_counter() - t0, None,
-                        _portable_error(error), traceback.format_exc()))
+                        _portable_error(error), traceback.format_exc(),
+                        spans))
             if stop_on_error:
                 break
         else:
+            spans = ([s.to_dict() for s in tracer.drain()]
+                     if tracing == _TRACE_CAPTURE else [])
             out.append((index, time.perf_counter() - t0, metrics,
-                        None, ""))
+                        None, "", spans))
     return out
 
 
@@ -145,7 +175,7 @@ def _merge(names: List[str],
     resolved: Optional[List[str]] = (list(metric_names)
                                      if metric_names else None)
     result = SweepResult(param_names=names, metric_names=[])
-    for index, _elapsed, metrics, error, tb_text in outcomes:
+    for index, _elapsed, metrics, error, tb_text, _spans in outcomes:
         if error is not None:
             result.failures.append(CellFailure(
                 index=index, params=dict(cells[index]),
@@ -207,22 +237,39 @@ def run_sweep(scenario: Callable[..., Mapping[str, float]],
             if obstacle is not None:
                 mode, fallback_reason = "serial-fallback", obstacle
 
-    t0 = time.perf_counter()
-    if mode == "process-pool":
-        plan = plan_chunks(
-            len(cells), chunk_count(len(cells), workers, chunk_size))
-        with ProcessPoolExecutor(max_workers=min(workers,
-                                                 len(plan))) as pool:
-            futures = [pool.submit(_run_cells, scenario,
-                                   [indexed[i] for i in chunk], strict)
-                       for chunk in plan]
-            outcomes: List[_Outcome] = []
-            for f in futures:
-                outcomes.extend(f.result())
-        n_chunks = len(plan)
+    tracer = obs.get_tracer()
+    if not tracer.enabled:
+        tracing = _TRACE_OFF
+    elif mode == "process-pool":
+        tracing = _TRACE_CAPTURE
     else:
-        outcomes = _run_cells(scenario, indexed, stop_on_error=strict)
-        n_chunks = 1
+        tracing = _TRACE_INLINE
+
+    t0 = time.perf_counter()
+    with obs.span("sweep.run", attrs={"n_cells": len(cells),
+                                      "workers": workers, "mode": mode}):
+        if mode == "process-pool":
+            plan = plan_chunks(
+                len(cells), chunk_count(len(cells), workers, chunk_size))
+            with ProcessPoolExecutor(max_workers=min(workers,
+                                                     len(plan))) as pool:
+                futures = [pool.submit(_run_cells, scenario,
+                                       [indexed[i] for i in chunk],
+                                       strict, tracing)
+                           for chunk in plan]
+                outcomes: List[_Outcome] = []
+                for f in futures:
+                    outcomes.extend(f.result())
+            n_chunks = len(plan)
+            if tracing == _TRACE_CAPTURE:
+                # one merged timeline: adopt worker spans in cell order
+                for _, _, _, _, _, span_dicts in sorted(
+                        outcomes, key=lambda o: o[0]):
+                    tracer.adopt(span_dicts)
+        else:
+            outcomes = _run_cells(scenario, indexed, stop_on_error=strict,
+                                  tracing=tracing)
+            n_chunks = 1
     wall_s = time.perf_counter() - t0
 
     result = _merge(names, cells, outcomes, metric_names)

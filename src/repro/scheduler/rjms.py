@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.core.operational import PowerTrace
 from repro.grid.providers import CarbonIntensityProvider, StaticProvider
 from repro.service.core import CarbonService
@@ -518,7 +518,17 @@ class RJMS:
             running=list(self.running.values()),
             expected_end=self._expected_ends(),
         )
-        decisions = self.policy.schedule(ctx)
+        with obs.span("rjms.schedule",
+                      attrs={"pending": len(ctx.pending),
+                             "running": len(ctx.running)}) as span:
+            decisions = self.policy.schedule(ctx)
+            span.set_attr("decisions", len(decisions))
+        if obs.enabled():
+            reg = obs.metrics()
+            reg.counter("rjms.schedule_passes").inc()
+            reg.counter("rjms.jobs_started").inc(len(decisions))
+            reg.gauge("rjms.pending_jobs").set(len(self.pending))
+            reg.gauge("rjms.running_jobs").set(len(self.running))
         seen = set()
         need = 0
         for d in decisions:
@@ -575,17 +585,22 @@ class RJMS:
             raise RuntimeError("this RJMS instance has already run")
         self.engine.schedule_in(self.tick_seconds, self._tick,
                                 priority=PRIO_TICK, label="tick")
-        if until is not None:
-            self.engine.run_until(until, max_events)
-        else:
-            self.engine.run(max_events)
-            unfinished = [j for j in self.jobs
-                          if j.state not in (JobState.COMPLETED,
-                                             JobState.CANCELLED)]
-            if unfinished:
-                raise RuntimeError(
-                    f"{len(unfinished)} jobs never finished (policy deadlock?): "
-                    f"{[j.job_id for j in unfinished[:10]]}")
+        with obs.span("rjms.run",
+                      attrs={"n_jobs": len(self.jobs),
+                             "n_nodes": self.cluster.n_nodes,
+                             "policy": type(self.policy).__name__}):
+            if until is not None:
+                self.engine.run_until(until, max_events)
+            else:
+                self.engine.run(max_events)
+                unfinished = [j for j in self.jobs
+                              if j.state not in (JobState.COMPLETED,
+                                                 JobState.CANCELLED)]
+                if unfinished:
+                    raise RuntimeError(
+                        f"{len(unfinished)} jobs never finished "
+                        "(policy deadlock?): "
+                        f"{[j.job_id for j in unfinished[:10]]}")
         self._accrue_all()
         self._finalized = True
 

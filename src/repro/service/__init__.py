@@ -24,7 +24,10 @@ Public API
     Fault-injection wrappers for tests and benchmarks.
 :class:`ServiceMetrics` (+ :class:`Counter`, :class:`Gauge`,
 :class:`LatencyHistogram`)
-    The observability registry behind ``repro service stats``.
+    The observability registry behind ``repro service stats`` — now an
+    alias of :class:`repro.obs.registry.MetricsRegistry`, the unified
+    stack-wide registry (``repro.service.metrics`` remains as a
+    deprecation shim).
 Errors
     :class:`ServiceError`, :class:`TransientBackendError`,
     :class:`DeadlineExceededError`, :class:`CircuitOpenError`,
@@ -42,7 +45,7 @@ from repro.service.errors import (
     TransientBackendError,
 )
 from repro.service.faults import FlakyProvider, SlowProvider
-from repro.service.metrics import (
+from repro.obs.registry import (  # moved; repro.service.metrics is a shim
     Counter,
     Gauge,
     LatencyHistogram,

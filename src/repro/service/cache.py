@@ -11,8 +11,8 @@ the degradation story and are therefore explicit API:
   backend just tripped can keep answering with the last known value
   ("stale-while-error", the standard CDN trick);
 * **every outcome is counted** — hits, misses, expirations, evictions —
-  through the shared :class:`~repro.service.metrics.ServiceMetrics`
-  registry, so benchmark assertions can match observed behavior exactly.
+  through the shared :class:`~repro.obs.registry.MetricsRegistry`, so
+  benchmark assertions can match observed behavior exactly.
 """
 
 from __future__ import annotations
@@ -21,7 +21,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
-from repro.service.metrics import ServiceMetrics
+from repro.obs.registry import ServiceMetrics
 
 __all__ = ["TTLLRUCache", "MISSING"]
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
-from repro.service.metrics import ServiceMetrics
+from repro.obs.registry import ServiceMetrics
 
 __all__ = ["PendingLookup", "RequestCoalescer"]
 
@@ -92,6 +92,7 @@ class RequestCoalescer:
         waiters = self._pending.get(key)
         if waiters is None:
             self._pending[key] = [handle]
+            self.metrics.gauge("coalesce.pending").inc()
         else:
             self.metrics.counter("coalesce.deduplicated").inc()
             waiters.append(handle)
@@ -106,6 +107,7 @@ class RequestCoalescer:
         pending, self._pending = self._pending, {}
         for key, waiters in pending.items():
             self.metrics.counter("coalesce.fetches").inc()
+            self.metrics.gauge("coalesce.pending").dec()
             try:
                 value = self.fetch(key)
             except Exception as exc:  # propagated via each handle

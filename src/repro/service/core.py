@@ -41,7 +41,8 @@ from repro.service.errors import (
     ServiceUnavailableError,
     TransientBackendError,
 )
-from repro.service.metrics import ServiceMetrics
+from repro import obs
+from repro.obs.registry import ServiceMetrics
 from repro.service.retry import BreakerState, CircuitBreaker, RetryPolicy
 
 __all__ = ["CarbonService", "CarbonServicePool", "SIGNALS"]
@@ -162,16 +163,18 @@ class CarbonService(CarbonIntensityProvider):
         """One guarded request: breaker gate -> retry loop -> accounting."""
         self.breaker.check()
         started = self.clock()
-        try:
-            value = self.retry.run(
-                fn, rng=self._rng, sleep=self.sleep, clock=self.clock,
-                on_retry=lambda _a: self.metrics.counter(
-                    "backend.retries").inc())
-        except _ABSORBED:
-            self.breaker.record_failure()
-            self.metrics.counter("backend.failures").inc()
-            self._update_breaker_gauge()
-            raise
+        with obs.span("service.backend_call",
+                      attrs={"zone": self.zone_code}):
+            try:
+                value = self.retry.run(
+                    fn, rng=self._rng, sleep=self.sleep, clock=self.clock,
+                    on_retry=lambda _a: self.metrics.counter(
+                        "backend.retries").inc())
+            except _ABSORBED:
+                self.breaker.record_failure()
+                self.metrics.counter("backend.failures").inc()
+                self._update_breaker_gauge()
+                raise
         self.breaker.record_success()
         self.metrics.counter("backend.calls").inc()
         self.metrics.histogram("backend.latency").observe(

@@ -1,173 +1,43 @@
-"""Operational metrics for the serving layer: counters, gauges, histograms.
+"""Deprecated shim: the metrics registry moved to :mod:`repro.obs.registry`.
 
-A deliberately tiny, dependency-free mirror of the Prometheus client
-model — enough to make the cache hit ratio, coalescing win, breaker
-state flips, and backend latency distribution *observable*, which is the
-whole point of fronting providers with a service.  Everything lives in a
-:class:`ServiceMetrics` registry so one ``render()`` call prints the
-operator view (``repro service stats``) and one ``snapshot()`` feeds
-tests and benchmarks exact integer expectations.
+The serving layer's ``Counter`` / ``Gauge`` / ``LatencyHistogram`` /
+``ServiceMetrics`` grew into the stack-wide
+:class:`repro.obs.registry.MetricsRegistry` (labels, Prometheus text
+exposition, one registry for simulator/scheduler/service/sweep
+profiling).  Importing them from here still works but warns::
+
+    from repro.service.metrics import Counter   # DeprecationWarning
+
+New code should import from :mod:`repro.obs` (or take the re-exports on
+:mod:`repro.service`, which are warning-free).  This module is
+scheduled for removal once downstream callers migrate.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, List, Optional, Sequence
+import warnings
+
+from repro.obs import registry as _registry
 
 __all__ = ["Counter", "Gauge", "LatencyHistogram", "ServiceMetrics"]
 
-
-class Counter:
-    """Monotonically increasing event count."""
-
-    __slots__ = ("name", "_value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-
-    def inc(self, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError("counters only go up")
-        self._value += n
-
-    @property
-    def value(self) -> int:
-        return self._value
+#: names this shim forwards (plus the old private bucket-bounds constant,
+#: which a few tests referenced)
+_FORWARDED = ("Counter", "Gauge", "LatencyHistogram", "ServiceMetrics",
+              "MetricsRegistry", "_DEFAULT_BUCKET_BOUNDS_S")
 
 
-class Gauge:
-    """A value that goes up and down (breaker state, cache size)."""
-
-    __slots__ = ("name", "_value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0.0
-
-    def set(self, value: float) -> None:
-        self._value = float(value)
-
-    @property
-    def value(self) -> float:
-        return self._value
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.service.metrics.{name} has moved to "
+            f"repro.obs.registry; import it from repro.obs (or "
+            f"repro.service) instead",
+            DeprecationWarning, stacklevel=2)
+        return getattr(_registry, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
-#: default latency buckets (seconds): 100 us .. ~10 s, roughly x4 apart —
-#: wide enough to separate a dict hit from a network-ish backend call.
-_DEFAULT_BUCKET_BOUNDS_S = (
-    0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 10.0)
-
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with count/sum and percentiles."""
-
-    __slots__ = ("name", "bounds_s", "bucket_counts", "count", "total_s")
-
-    def __init__(self, name: str,
-                 bounds_s: Sequence[float] = _DEFAULT_BUCKET_BOUNDS_S) -> None:
-        bounds = [float(b) for b in bounds_s]
-        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise ValueError("bucket bounds must be strictly ascending")
-        if not bounds:
-            raise ValueError("need at least one bucket bound")
-        self.name = name
-        self.bounds_s = bounds
-        # one overflow bucket past the last bound
-        self.bucket_counts = [0] * (len(bounds) + 1)
-        self.count = 0
-        self.total_s = 0.0
-
-    def observe(self, latency_s: float) -> None:
-        if latency_s < 0:
-            raise ValueError("latency must be non-negative")
-        self.bucket_counts[bisect.bisect_left(self.bounds_s, latency_s)] += 1
-        self.count += 1
-        self.total_s += latency_s
-
-    @property
-    def mean_s(self) -> float:
-        return self.total_s / self.count if self.count else 0.0
-
-    def quantile_s(self, q: float) -> float:
-        """Upper bucket bound containing the ``q``-quantile observation
-        (the Prometheus-style conservative estimate)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for i, n in enumerate(self.bucket_counts):
-            seen += n
-            if seen >= rank:
-                return (self.bounds_s[i] if i < len(self.bounds_s)
-                        else float("inf"))
-        return float("inf")  # pragma: no cover - rank <= count always hits
-
-
-class ServiceMetrics:
-    """Registry of named counters/gauges/histograms, create-on-use.
-
-    Names are dotted (``cache.hits``, ``backend.calls``); the dots are
-    purely cosmetic grouping for :meth:`render`.
-    """
-
-    def __init__(self) -> None:
-        self.counters: Dict[str, Counter] = {}
-        self.gauges: Dict[str, Gauge] = {}
-        self.histograms: Dict[str, LatencyHistogram] = {}
-
-    # -- create-on-use accessors ---------------------------------------------
-
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
-
-    def gauge(self, name: str) -> Gauge:
-        if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
-        return self.gauges[name]
-
-    def histogram(self, name: str,
-                  bounds_s: Optional[Sequence[float]] = None
-                  ) -> LatencyHistogram:
-        if name not in self.histograms:
-            self.histograms[name] = (
-                LatencyHistogram(name, bounds_s) if bounds_s is not None
-                else LatencyHistogram(name))
-        return self.histograms[name]
-
-    # -- export ----------------------------------------------------------------
-
-    def snapshot(self) -> Dict[str, float]:
-        """Flat ``name -> value`` dict (histograms export count/mean/p95)."""
-        out: Dict[str, float] = {}
-        for name, c in self.counters.items():
-            out[name] = c.value
-        for name, g in self.gauges.items():
-            out[name] = g.value
-        for name, h in self.histograms.items():
-            out[f"{name}.count"] = h.count
-            out[f"{name}.mean_s"] = h.mean_s
-            out[f"{name}.p95_s"] = h.quantile_s(0.95)
-        return out
-
-    def render(self) -> str:
-        """Operator-facing text table, sorted by metric name."""
-        lines: List[str] = []
-        width = max((len(n) for n in self.snapshot()), default=10)
-        for name in sorted(self.counters):
-            lines.append(f"{name:<{width}}  {self.counters[name].value:>12d}")
-        for name in sorted(self.gauges):
-            lines.append(f"{name:<{width}}  {self.gauges[name].value:>12g}")
-        for name in sorted(self.histograms):
-            h = self.histograms[name]
-            lines.append(
-                f"{name + '.count':<{width}}  {h.count:>12d}")
-            lines.append(
-                f"{name + '.mean_s':<{width}}  {h.mean_s:>12.6f}")
-            lines.append(
-                f"{name + '.p95_s':<{width}}  {h.quantile_s(0.95):>12.6f}")
-        return "\n".join(lines)
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

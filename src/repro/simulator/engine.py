@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+from repro import obs
 
 __all__ = ["Event", "SimulationEngine"]
 
@@ -120,23 +123,44 @@ class SimulationEngine:
         if t_end < self.now:
             raise ValueError("t_end is in the past")
         executed = 0
-        while True:
-            nxt = self.peek_time()
-            if nxt is None or nxt > t_end:
-                break
-            if not self.step():
-                break
-            executed += 1
-            if executed > max_events:
-                raise RuntimeError(
-                    f"exceeded {max_events} events before t_end; "
-                    "likely a self-rescheduling loop")
-        self.now = t_end
+        with obs.span("sim.run_until",
+                      attrs={"t_end": t_end}) as span:
+            t0 = time.perf_counter()
+            while True:
+                nxt = self.peek_time()
+                if nxt is None or nxt > t_end:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if executed > max_events:
+                    raise RuntimeError(
+                        f"exceeded {max_events} events before t_end; "
+                        "likely a self-rescheduling loop")
+            self.now = t_end
+            self._profile(span, executed, time.perf_counter() - t0)
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until the event queue drains."""
         executed = 0
-        while self.step():
-            executed += 1
-            if executed > max_events:
-                raise RuntimeError(f"exceeded {max_events} events")
+        with obs.span("sim.run") as span:
+            t0 = time.perf_counter()
+            while self.step():
+                executed += 1
+                if executed > max_events:
+                    raise RuntimeError(f"exceeded {max_events} events")
+            self._profile(span, executed, time.perf_counter() - t0)
+
+    def _profile(self, span, executed: int, elapsed_s: float) -> None:
+        """Events/sec + queue-depth profiling; only runs while the
+        observability layer is enabled (``span`` is then a real handle,
+        and the O(heap) ``pending`` scan is worth paying)."""
+        if not obs.enabled():
+            return
+        span.set_attr("events", executed)
+        span.set_attr("events_per_s",
+                      executed / elapsed_s if elapsed_s > 0 else 0.0)
+        reg = obs.metrics()
+        reg.counter("sim.events").inc(executed)
+        reg.gauge("sim.queue_depth").set(self.pending)
+        reg.gauge("sim.clock_s").set(self.now)

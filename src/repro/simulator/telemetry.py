@@ -59,8 +59,9 @@ class TelemetryDB:
         if existing is not None:
             if existing.unit != sensor.unit:
                 raise ValueError(
-                    f"sensor {sensor.name!r} re-registered with unit "
-                    f"{sensor.unit!r} != {existing.unit!r}")
+                    f"sensor {sensor.name!r} is already registered with "
+                    f"unit {existing.unit!r}; cannot re-register it with "
+                    f"unit {sensor.unit!r}")
             return
         self._sensors[sensor.name] = sensor
         self._times[sensor.name] = []

@@ -86,6 +86,46 @@ class TestFig1EmbodiedClaims:
             assert measured[name] == pytest.approx(target, abs=0.01)
 
 
+class TestClaimsUnderTracing:
+    """Observability must never perturb results (DESIGN.md §5e): the
+    headline numbers re-run with tracing enabled and must come out
+    bit-identical — the tracer reads clocks, never RNG."""
+
+    @pytest.fixture(autouse=True)
+    def traced(self):
+        from repro import obs
+        obs.reset()
+        with obs.scope():
+            yield
+        obs.reset()
+
+    def test_headline_numbers_identical_with_tracing_on(self):
+        from repro import obs
+        assert obs.enabled()
+        assert zone_ratio("FI", "FR", seed=0) == pytest.approx(
+            2.1, rel=1e-9)
+        (fi,) = zone_statistics_table(["FI"], seed=0)
+        assert fi["daily_std"] == pytest.approx(47.21, abs=1e-6)
+        for system, target in [(JUWELS_BOOSTER, 0.435),
+                               (SUPERMUC_NG, 0.596), (HAWK, 0.555)]:
+            assert memory_storage_share(system) == pytest.approx(
+                target, abs=0.01)
+        assert reuse_vs_recycle_factor("hdd") == pytest.approx(
+            275.0, rel=1e-9)
+
+    def test_traced_parallel_sweep_matches_untraced_rows(self):
+        from repro import obs
+        grid = {"system_name": sorted(PAPER_MEMORY_STORAGE_SHARES)}
+        traced = run_sweep(memory_storage_cell, grid, workers=2)
+        spans = obs.get_tracer().drain()
+        with obs.scope(on=False):
+            plain = run_sweep(memory_storage_cell, grid, workers=2)
+        assert traced.rows == plain.rows
+        # and the traced run actually recorded the cells it computed
+        cell_spans = [s for s in spans if s.name == "sweep.cell"]
+        assert len(cell_spans) == len(traced.rows)
+
+
 class TestLifecycleClaims:
     def test_hdd_reuse_275x_recycling(self):
         """'reusing HDDs leads to 275x more carbon emissions reductions

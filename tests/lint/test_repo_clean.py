@@ -49,6 +49,26 @@ class TestServicePackageCovered:
             + render_text(findings))
 
 
+class TestObsPackageCovered:
+    """The observability layer measures the carbon stack — its spans
+    carry wall-clock seconds and durations, its histograms latency
+    bounds, its exporters microsecond conversions.  It stays under the
+    same dimensional-consistency gate as the code it observes."""
+
+    def test_obs_package_is_in_the_scanned_tree(self):
+        obs = SRC / "obs"
+        assert obs.is_dir()
+        modules = {p.name for p in obs.glob("*.py")}
+        assert {"trace.py", "registry.py", "export.py",
+                "cli.py", "__init__.py"} <= modules
+
+    def test_obs_package_is_clean(self):
+        findings = lint_paths([SRC / "obs"])
+        assert not findings, (
+            "repro.lint found problems in src/repro/obs:\n"
+            + render_text(findings))
+
+
 class TestParallelPackageCovered:
     """The sweep executor carries wall-clock seconds, per-cell times,
     and scenario metrics in carbon units — it stays under the same

@@ -1,0 +1,16 @@
+"""Isolation for the observability suite: every test starts and ends
+with the global tracer disabled and empty, and the global registry
+cleared — no test can leak spans or metrics into its neighbours."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,65 @@
+"""The ``repro obs`` CLI: trace export, Prometheus stats, top ranking."""
+
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+PROM_LINE_RE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})?"
+    r" -?(\d+(\.\d+)?([eE][-+]?\d+)?|\+Inf))$")
+
+
+class TestObsTrace:
+    def test_trace_writes_chrome_and_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        raw = tmp_path / "t.jsonl"
+        rc = main(["obs", "trace", "spin", "--workers", "2",
+                   "--out", str(out), "--jsonl", str(raw)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "chrome://tracing" in text
+        assert "sweep.cell" in text  # the stats table
+        doc = json.loads(out.read_text())
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert sum(1 for e in x if e["name"] == "sweep.cell") == 32
+        assert len(obs.read_jsonl(str(raw))) == len(x)
+        assert obs.disabled(), "CLI must restore the disabled default"
+
+    def test_unknown_sweep_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="obs:"):
+            main(["obs", "trace", "nonesuch",
+                  "--out", str(tmp_path / "t.json")])
+
+
+class TestObsStats:
+    def test_output_is_prometheus_parseable(self, capsys):
+        rc = main(["obs", "stats", "--nodes", "8", "--jobs", "15"])
+        assert rc == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+        assert lines
+        bad = [ln for ln in lines if not PROM_LINE_RE.match(ln)]
+        assert not bad, f"invalid exposition lines: {bad[:3]}"
+        assert any(ln.startswith("repro_rjms_jobs_started")
+                   for ln in lines)
+        assert any("obs_span_dur_s_bucket" in ln for ln in lines)
+
+
+class TestObsTop:
+    def test_top_reads_a_saved_trace(self, tmp_path, capsys):
+        raw = tmp_path / "t.jsonl"
+        main(["obs", "trace", "spin", "--workers", "1",
+              "--out", str(tmp_path / "t.json"), "--jsonl", str(raw)])
+        capsys.readouterr()
+        rc = main(["obs", "top", "--trace", str(raw), "-n", "3",
+                   "--name", "sweep.cell"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slowest 3" in out
+        ranked = [ln for ln in out.splitlines()
+                  if "ms  sweep.cell" in ln]
+        assert len(ranked) == 3

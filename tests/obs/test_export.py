@@ -1,0 +1,119 @@
+"""Exporters: Chrome trace events, JSONL round-trips, span analytics."""
+
+import json
+
+from repro.obs import (
+    Span,
+    merge_spans,
+    read_jsonl,
+    render_stats_table,
+    slowest_spans,
+    span_stats,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+)
+
+
+def make_span(name="op", span_id="a-1", start_s=100.0, dur_s=0.25,
+              pid=10, worker="", parent_id=None, error=False, attrs=None):
+    return Span(name=name, span_id=span_id, parent_id=parent_id,
+                start_s=start_s, dur_s=dur_s, attrs=attrs or {},
+                error=error, pid=pid, worker=worker)
+
+
+class TestMergeOrdering:
+    def test_merge_is_timeline_ordered_and_deterministic(self):
+        a = [make_span(span_id="a-2", start_s=2.0, pid=1),
+             make_span(span_id="a-1", start_s=1.0, pid=1)]
+        b = [make_span(span_id="b-1", start_s=1.0, pid=2),
+             make_span(span_id="b-2", start_s=0.5, pid=2)]
+        merged = merge_spans(a, b)
+        key = [(s.start_s, s.pid, s.span_id) for s in merged]
+        assert key == sorted(key)
+        assert merge_spans(b, a) == merged or [
+            s.span_id for s in merge_spans(b, a)
+        ] == [s.span_id for s in merged]
+
+    def test_same_instant_ties_break_by_pid_then_id(self):
+        spans = [make_span(span_id="z-9", start_s=1.0, pid=2),
+                 make_span(span_id="a-1", start_s=1.0, pid=1)]
+        merged = merge_spans(spans)
+        assert [s.span_id for s in merged] == ["a-1", "z-9"]
+
+
+class TestJsonl:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        spans = [make_span(span_id="a-1", attrs={"zone": "DE"}),
+                 make_span(span_id="a-2", start_s=101.0, error=True,
+                           worker="worker-10")]
+        path = tmp_path / "t.jsonl"
+        assert write_jsonl(spans, str(path)) == 2
+        back = read_jsonl(str(path))
+        assert [s.to_dict() for s in back] == \
+            [s.to_dict() for s in merge_spans(spans)]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl([make_span()], str(path))
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(str(path))) == 1
+
+
+class TestChrome:
+    def test_event_fields_and_units(self):
+        doc = to_chrome([make_span(start_s=2.0, dur_s=0.5,
+                                   attrs={"n": 3})])
+        (x,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x["ts"] == 2.0 * 1e6 and x["dur"] == 0.5 * 1e6
+        assert x["args"] == {"n": 3}
+        assert x["cat"] == "op"
+
+    def test_one_lane_per_pid_worker_with_metadata(self):
+        spans = [make_span(span_id="a-1", pid=1, worker=""),
+                 make_span(span_id="b-1", pid=2, worker="worker-2"),
+                 make_span(span_id="b-2", pid=2, worker="worker-2")]
+        doc = to_chrome(spans)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2  # one thread_name record per lane
+        lanes = {(e["pid"], e["tid"]) for e in meta}
+        assert lanes == {(1, "main"), (2, "worker-2")}
+
+    def test_error_spans_are_flagged_in_args(self):
+        doc = to_chrome([make_span(error=True)])
+        (x,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x["args"]["error"] is True
+
+    def test_write_chrome_counts_spans_and_is_valid_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        n = write_chrome([make_span(span_id="a-1"),
+                          make_span(span_id="a-2")], str(path))
+        assert n == 2
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestAnalytics:
+    def test_span_stats_aggregates_per_name(self):
+        spans = [make_span(name="a", span_id="1", dur_s=1.0),
+                 make_span(name="a", span_id="2", dur_s=3.0, error=True),
+                 make_span(name="b", span_id="3", dur_s=0.5)]
+        stats = span_stats(spans)
+        assert [s.name for s in stats] == ["a", "b"]  # by total desc
+        a = stats[0]
+        assert (a.count, a.errors, a.total_s, a.max_s) == (2, 1, 4.0, 3.0)
+        assert a.mean_s == 2.0
+
+    def test_slowest_spans_ranks_and_filters(self):
+        spans = [make_span(name="a", span_id="1", dur_s=1.0),
+                 make_span(name="b", span_id="2", dur_s=9.0),
+                 make_span(name="a", span_id="3", dur_s=5.0)]
+        assert [s.span_id for s in slowest_spans(spans, n=2)] == ["2", "3"]
+        assert [s.span_id
+                for s in slowest_spans(spans, name="a")] == ["3", "1"]
+
+    def test_render_stats_table_is_aligned_text(self):
+        table = render_stats_table(span_stats([make_span()]))
+        lines = table.splitlines()
+        assert lines[0].startswith("span")
+        assert "op" in lines[2]

@@ -1,0 +1,40 @@
+"""The ``repro.service.metrics`` deprecation shim (CI satellite)."""
+
+import warnings
+
+import pytest
+
+from repro.obs import registry as obs_registry
+
+
+class TestDeprecationShim:
+    def test_from_import_still_works_with_a_warning(self):
+        with pytest.warns(DeprecationWarning,
+                          match="moved to repro.obs.registry"):
+            from repro.service.metrics import Counter
+        assert Counter is obs_registry.Counter
+
+    def test_every_forwarded_name_resolves_to_the_real_class(self):
+        import repro.service.metrics as shim
+        for name in ("Counter", "Gauge", "LatencyHistogram",
+                     "ServiceMetrics", "MetricsRegistry"):
+            with pytest.warns(DeprecationWarning):
+                assert getattr(shim, name) is getattr(obs_registry, name)
+
+    def test_unknown_attribute_still_raises_attribute_error(self):
+        import repro.service.metrics as shim
+        with pytest.raises(AttributeError):
+            shim.NoSuchThing
+
+    def test_dir_lists_the_forwarded_names(self):
+        import repro.service.metrics as shim
+        assert {"Counter", "Gauge", "LatencyHistogram"} <= set(dir(shim))
+
+    def test_package_level_import_is_warning_free(self):
+        """The blessed path — ``from repro.service import Counter`` —
+        must not warn: the package re-exports from repro.obs directly."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.service import Counter, ServiceMetrics
+        assert Counter is obs_registry.Counter
+        assert ServiceMetrics is obs_registry.MetricsRegistry

@@ -1,0 +1,174 @@
+"""Span tracer: nesting, exceptions, no-op mode, cross-process travel."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import NOOP_SPAN, Span, Tracer
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        with obs.scope() as tracer:
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert tracer.current_span_id == inner.span_id
+                assert tracer.current_span_id == outer.span_id
+            assert tracer.current_span_id is None
+            spans = tracer.drain()
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_children_close_before_parents(self):
+        with obs.scope() as tracer:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+            names = [s.name for s in tracer.drain()]
+        assert names == ["inner", "outer"]
+
+    def test_sibling_spans_share_a_parent(self):
+        with obs.scope() as tracer:
+            with obs.span("parent") as p:
+                with obs.span("a"):
+                    pass
+                with obs.span("b"):
+                    pass
+            spans = tracer.drain()
+        for s in spans:
+            if s.name in ("a", "b"):
+                assert s.parent_id == p.span_id
+
+    def test_span_ids_are_unique_and_pid_tagged(self):
+        with obs.scope() as tracer:
+            for _ in range(5):
+                with obs.span("x"):
+                    pass
+            spans = tracer.drain()
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == 5
+        assert all(i.startswith(f"{os.getpid():x}-") for i in ids)
+
+
+class TestExceptions:
+    def test_error_flag_and_type_recorded(self):
+        with obs.scope() as tracer:
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("bad")
+            (span,) = tracer.drain()
+        assert span.error is True
+        assert span.attrs["error_type"] == "ValueError"
+
+    def test_parent_restored_after_exception(self):
+        """Satellite: an exception inside a child span must not leave
+        the tracer parented to the dead child."""
+        with obs.scope() as tracer:
+            with obs.span("outer") as outer:
+                with pytest.raises(RuntimeError):
+                    with obs.span("child"):
+                        raise RuntimeError("x")
+                assert tracer.current_span_id == outer.span_id
+                with obs.span("sibling") as sib:
+                    assert sib.parent_id == outer.span_id
+            spans = tracer.drain()
+        by_name = {s.name: s for s in spans}
+        assert by_name["child"].error
+        assert not by_name["sibling"].error
+        assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+    def test_exception_always_propagates(self):
+        with obs.scope():
+            with pytest.raises(KeyError):
+                with obs.span("x"):
+                    raise KeyError("k")
+
+    def test_explicit_error_type_attr_wins(self):
+        with obs.scope() as tracer:
+            with pytest.raises(ValueError):
+                with obs.span("x", attrs={"error_type": "custom"}):
+                    raise ValueError()
+            (span,) = tracer.drain()
+        assert span.attrs["error_type"] == "custom"
+
+
+class TestDisabledMode:
+    def test_span_returns_the_shared_noop_handle(self):
+        assert obs.disabled()
+        assert obs.span("anything") is NOOP_SPAN
+        assert obs.span("other", attrs={"k": 1}) is NOOP_SPAN
+
+    def test_noop_records_nothing_and_swallows_nothing(self):
+        with obs.span("x") as sp:
+            sp.set_attr("k", 1)  # must be accepted and dropped
+        assert obs.get_tracer().spans == []
+        with pytest.raises(ValueError):
+            with obs.span("x"):
+                raise ValueError()
+
+    def test_scope_restores_state_even_on_exception(self):
+        assert obs.disabled()
+        with pytest.raises(RuntimeError):
+            with obs.scope():
+                assert obs.enabled()
+                raise RuntimeError()
+        assert obs.disabled()
+        obs.enable()
+        with obs.scope(on=False):
+            assert obs.disabled()
+        assert obs.enabled()
+
+
+class TestDecorator:
+    def test_traced_names_and_times_the_call(self):
+        @obs.traced("math.square")
+        def square(x):
+            return x * x
+
+        with obs.scope() as tracer:
+            assert square(4) == 16
+            (span,) = tracer.drain()
+        assert span.name == "math.square"
+        assert span.dur_s >= 0.0
+
+    def test_traced_defaults_to_qualname(self):
+        @obs.traced()
+        def helper():
+            return 1
+
+        with obs.scope() as tracer:
+            helper()
+            (span,) = tracer.drain()
+        assert "helper" in span.name
+
+
+class TestTravel:
+    def test_to_dict_from_dict_round_trip(self):
+        with obs.scope() as tracer:
+            with obs.span("job", attrs={"zone": "DE", "n": 3}):
+                pass
+            (span,) = tracer.drain()
+        clone = Span.from_dict(span.to_dict())
+        assert clone.to_dict() == span.to_dict()
+        assert clone.name == "job" and clone.attrs == span.attrs
+        assert clone.pid == os.getpid()
+
+    def test_adopt_appends_foreign_spans(self):
+        foreign = Span(name="w", span_id="beef-1", parent_id=None,
+                       start_s=1.0, dur_s=0.5, attrs={}, pid=12345,
+                       worker="worker-12345")
+        tracer = Tracer(enabled=True)
+        n = tracer.adopt([foreign.to_dict()])
+        assert n == 1
+        assert tracer.spans[0].pid == 12345
+        assert tracer.spans[0].worker == "worker-12345"
+
+    def test_drain_empties_the_buffer(self):
+        with obs.scope() as tracer:
+            with obs.span("x"):
+                pass
+            assert len(tracer.drain()) == 1
+            assert tracer.drain() == []

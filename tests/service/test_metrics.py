@@ -26,6 +26,23 @@ class TestGauge:
         g.set(-1.0)
         assert g.value == -1.0
 
+    def test_inc_and_dec(self):
+        g = Gauge("x")
+        g.inc()
+        g.inc(2.5)
+        assert g.value == 3.5
+        g.dec()
+        g.dec(0.5)
+        assert g.value == 2.0
+
+    def test_inc_dec_compose_with_set(self):
+        g = Gauge("x")
+        g.set(10.0)
+        g.dec(15.0)
+        assert g.value == -5.0  # gauges may go negative
+        g.inc(5.0)
+        assert g.value == 0.0
+
 
 class TestLatencyHistogram:
     def test_count_and_mean(self):

@@ -19,6 +19,17 @@ class TestSensors:
         with pytest.raises(ValueError, match="unit"):
             db.register(Sensor("power", "kW"))
 
+    def test_unit_conflict_names_sensor_and_both_units(self):
+        """The error must say which sensor clashed and show the
+        registered unit alongside the rejected one."""
+        db = TelemetryDB()
+        db.register(Sensor("node.power", "W"))
+        with pytest.raises(ValueError) as exc:
+            db.register(Sensor("node.power", "kW"))
+        message = str(exc.value)
+        assert "'node.power'" in message
+        assert "'W'" in message and "'kW'" in message
+
     def test_auto_registration(self):
         db = TelemetryDB()
         db.record("temp", 0.0, 42.0)
