@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 __all__ = [
     "CellFailure",
+    "CellQuarantine",
     "SweepCellError",
     "SweepResult",
     "SweepStats",
@@ -54,6 +55,37 @@ class CellFailure:
         kv = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
         return (f"cell #{self.index} ({kv}): "
                 f"{type(self.error).__name__}: {self.error}")
+
+
+#: quarantine statuses a cell can be retired with (DESIGN.md §5f)
+QUARANTINE_STATUSES = ("timed_out", "killed", "failed")
+
+
+@dataclass
+class CellQuarantine:
+    """One cell retired by the robustness harness rather than by its
+    own Python-level exception.
+
+    ``status`` is ``"timed_out"`` (the per-cell watchdog fired),
+    ``"killed"`` (the worker running it died — SIGKILL, OOM — and the
+    retry budget is spent), or ``"failed"`` (kept raising past the
+    retry budget under a journaling run).  Quarantined cells are simply
+    absent from ``rows``; they never abort the grid, even in strict
+    mode, because they carry no scenario exception to re-raise.  A
+    ``--resume`` run re-executes them.
+    """
+
+    index: int
+    params: Dict[str, Any]
+    status: str
+    attempts: int = 1
+    detail: str = ""
+
+    def describe(self) -> str:
+        kv = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        tail = f": {self.detail}" if self.detail else ""
+        return (f"cell #{self.index} ({kv}) quarantined "
+                f"[{self.status}] after {self.attempts} attempt(s){tail}")
 
 
 class SweepCellError(RuntimeError):
@@ -91,6 +123,14 @@ class SweepStats:
     wall_s: float
     cell_times_s: List[float] = field(default_factory=list)
     fallback_reason: Optional[str] = None
+    #: cells whose results were replayed from a journal (``--resume``)
+    n_replayed: int = 0
+    #: cells actually evaluated by this invocation
+    n_executed: int = 0
+    #: extra attempts spent on retried cells (0 on a clean run)
+    n_retried: int = 0
+    #: journal file backing this run, if any
+    journal_path: Optional[str] = None
 
     @property
     def cell_time_total_s(self) -> float:
@@ -111,14 +151,18 @@ class SweepResult:
 
     ``rows`` holds the successful cells in canonical grid order;
     ``failures`` the failed ones (non-strict mode only — strict sweeps
-    raise instead).  Table semantics (``column``/``best``/
-    ``relative_to``/``render``) are over ``rows`` alone.
+    raise instead); ``quarantined`` the cells the robustness harness
+    retired (watchdog timeout, worker death) instead of aborting the
+    grid — present in any mode, re-executed by a ``--resume`` run.
+    Table semantics (``column``/``best``/``relative_to``/``render``)
+    are over ``rows`` alone.
     """
 
     param_names: List[str]
     metric_names: List[str]
     rows: List[Dict[str, Any]] = field(default_factory=list)
     failures: List[CellFailure] = field(default_factory=list)
+    quarantined: List[CellQuarantine] = field(default_factory=list)
     stats: Optional[SweepStats] = None
 
     def column(self, name: str) -> List[Any]:
@@ -167,7 +211,12 @@ def sweep(scenario: Callable[..., Mapping[str, float]],
           chunk_size: int = 0,
           strict: bool = True,
           base_seed: Optional[int] = None,
-          seed_param: str = "seed") -> SweepResult:
+          seed_param: str = "seed",
+          journal_path: Optional[str] = None,
+          resume: bool = False,
+          cell_timeout_s: Optional[float] = None,
+          retries: int = 0,
+          chaos: Optional[Any] = None) -> SweepResult:
     """Run ``scenario`` over the Cartesian product of ``grid``.
 
     ``scenario(**params)`` must return a mapping of metric name ->
@@ -184,9 +233,20 @@ def sweep(scenario: Callable[..., Mapping[str, float]],
     ``sweep.cell`` span — pool workers ship their spans back with each
     outcome, so the whole sweep renders as one merged timeline
     (``repro obs trace``).  Tracing never changes the rows.
+
+    The robustness keywords (``journal_path``/``resume``/
+    ``cell_timeout_s``/``retries``/``chaos``) engage the crash-safe
+    harness of :mod:`repro.chaos`: an fsync'd JSONL journal of cell
+    outcomes, resume-from-journal with identical per-cell seeds, a
+    per-cell watchdog, bounded retry with a quarantine list on
+    ``result.quarantined``, and deterministic fault injection.  A
+    resumed run merges bit-identical to an uninterrupted one.
     """
     from repro.parallel.executor import run_sweep
     return run_sweep(scenario, grid, metric_names,
                      workers=workers, chunk_size=chunk_size,
                      strict=strict, base_seed=base_seed,
-                     seed_param=seed_param)
+                     seed_param=seed_param,
+                     journal_path=journal_path, resume=resume,
+                     cell_timeout_s=cell_timeout_s, retries=retries,
+                     chaos=chaos)

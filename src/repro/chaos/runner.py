@@ -1,0 +1,424 @@
+"""Crash-safe sweep execution: journal, watchdog, retry, quarantine.
+
+This is the robust counterpart of the plain chunked pool loop in
+:mod:`repro.parallel.executor` — ``run_sweep`` routes here whenever
+any robustness feature (journal, resume, watchdog timeout, retries, a
+chaos plan) is requested.  The determinism contract is unchanged:
+cells are keyed on canonical grid index, seeds are
+``derive_seed(base_seed, cell_index)``, and results merge in grid
+order, so a journaled-and-resumed or fault-ridden-and-retried sweep
+produces rows bit-identical to an uninterrupted serial run.
+
+What differs from the plain path:
+
+* **Cell-granular futures.**  Chunks would couple innocent cells to a
+  doomed neighbour; here every cell is its own future, so a retry or
+  quarantine has minimal blast radius (``SweepStats.n_chunks`` counts
+  submitted attempts).
+* **Journal-as-checkpoint.**  Each finished attempt is fsync'd to the
+  JSONL journal *before* the harness moves on; a resumed run replays
+  ``ok`` records and re-executes only missing/failed/quarantined
+  cells.
+* **Watchdog.**  With ``cell_timeout_s`` set, the longest-overdue
+  running cell is quarantined ``timed_out``, the pool's workers are
+  killed and the pool respawned; other in-flight cells requeue without
+  being charged an attempt.
+* **Worker-death recovery.**  A ``BrokenProcessPool`` (SIGKILL, OOM)
+  charges an attempt to every cell observed in flight (plus any cell
+  whose chaos plan says it killed the worker); charged cells retry
+  while budget remains, then quarantine ``killed``.  Everything else
+  requeues free and the pool respawns.
+* **Accounting.**  Retries, quarantines, worker deaths, and every
+  injected/recovered chaos fault land in the :mod:`repro.obs`
+  registry and (when tracing) as ``chaos.*`` spans.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro import obs
+from repro.analysis.sweep import CellQuarantine
+from repro.chaos.journal import (
+    JournalError,
+    SweepJournal,
+    grid_hash,
+    make_header,
+    params_hash,
+)
+from repro.chaos.plan import ChaosPlan
+
+__all__ = ["RobustRun", "execute_robust"]
+
+#: floor/ceiling for the watchdog poll period, as a fraction of the
+#: cell timeout (poll often enough to catch a hang promptly, never so
+#: often that polling itself costs)
+_MAX_POLL_S = 0.05
+_POLL_TIMEOUT_FRACTION = 0.25
+
+
+@dataclass
+class RobustRun:
+    """What a robust execution hands back to ``run_sweep``."""
+
+    outcomes: List[tuple] = field(default_factory=list)
+    quarantined: List[CellQuarantine] = field(default_factory=list)
+    n_replayed: int = 0
+    n_executed: int = 0
+    n_retried: int = 0
+    n_chunks: int = 0
+
+
+class _RobustState:
+    """Bookkeeping shared by the pool and serial robust loops."""
+
+    def __init__(self, scenario: Callable[..., Mapping[str, float]],
+                 cells: Sequence[Dict[str, Any]],
+                 indexed: Sequence[Tuple[int, Dict[str, Any]]],
+                 strict_unused: bool,
+                 tracing: str,
+                 retries: int,
+                 chaos: Optional[ChaosPlan],
+                 journal: Optional[SweepJournal]) -> None:
+        self.scenario = scenario
+        self.cells = cells
+        self.indexed = {i: (i, p) for i, p in indexed}
+        self.tracing = tracing
+        self.retries = retries
+        self.chaos = chaos
+        self.journal = journal
+        self.outcomes: Dict[int, tuple] = {}
+        self.quarantine: Dict[int, CellQuarantine] = {}
+        #: chaos fault kinds already fired per cell (for recovery stats)
+        self.fired_kinds: Dict[int, List[str]] = {}
+        self.executed: Set[int] = set()
+        self.n_retried = 0
+        self.n_attempts_submitted = 0
+        self.reg = obs.metrics()
+
+    # -- accounting ----------------------------------------------------------
+
+    def note_injections(self, index: int, attempt: int) -> None:
+        """Count the chaos faults that will fire on this attempt."""
+        if self.chaos is None:
+            return
+        for f in self.chaos.cell_faults(index, attempt):
+            self.fired_kinds.setdefault(index, []).append(f.kind)
+            self.reg.counter("chaos.faults_injected_total",
+                             labels={"kind": f.kind}).inc()
+            with obs.span("chaos.inject",
+                          attrs={"kind": f.kind, "cell_index": index,
+                                 "attempt": attempt}):
+                pass
+
+    def note_recovery(self, index: int, attempt: int) -> None:
+        """A previously-troubled cell completed: count the recovery."""
+        for kind in sorted(set(self.fired_kinds.get(index, ()))):
+            self.reg.counter("chaos.faults_recovered_total",
+                             labels={"kind": kind}).inc()
+        if attempt > 1:
+            self.reg.counter("sweep.cells_recovered_total").inc()
+
+    def charge_retry(self) -> None:
+        self.n_retried += 1
+        self.reg.counter("sweep.cells_retried_total").inc()
+
+    # -- outcome handling ----------------------------------------------------
+
+    def record_ok(self, outcome: tuple, attempt: int) -> None:
+        index, elapsed_s, metrics, _err, _tb, spans = outcome
+        if self.journal is not None:
+            self.journal.record_cell(
+                index, self.indexed[index][1], "ok", metrics=metrics,
+                elapsed_s=elapsed_s, attempt=attempt, spans=spans)
+        self.outcomes[index] = outcome
+        self.note_recovery(index, attempt)
+
+    def record_failed_attempt(self, outcome: tuple,
+                              attempt: int) -> None:
+        index, elapsed_s, _m, error, tb_text, _spans = outcome
+        if self.journal is not None:
+            self.journal.record_cell(
+                index, self.indexed[index][1], "failed",
+                elapsed_s=elapsed_s, attempt=attempt,
+                error=f"{type(error).__name__}: {error}",
+                traceback_text=tb_text)
+
+    def record_exhausted(self, outcome: tuple) -> None:
+        """Retry budget spent on a raising cell: keep the failure
+        outcome — it becomes an ordinary ``CellFailure`` at merge."""
+        self.outcomes[outcome[0]] = outcome
+
+    def quarantine_cell(self, index: int, status: str, attempts: int,
+                        detail: str) -> None:
+        q = CellQuarantine(index=index,
+                           params=dict(self.cells[index]),
+                           status=status, attempts=attempts,
+                           detail=detail)
+        self.quarantine[index] = q
+        self.reg.counter("sweep.cells_quarantined_total",
+                         labels={"status": status}).inc()
+        if self.journal is not None:
+            self.journal.record_quarantine(
+                index, self.indexed[index][1], status, attempts, detail)
+
+    def chaos_killed(self, index: int, attempt: int) -> bool:
+        """Did the plan SIGKILL the worker on this (cell, attempt)?"""
+        return self.chaos is not None and any(
+            f.kind == "kill_worker"
+            for f in self.chaos.cell_faults(index, attempt))
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every worker of a pool (the watchdog's hammer)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        proc.kill()
+
+
+def _run_pool(state: _RobustState, pending: "deque[Tuple[int, int]]",
+              workers: int,
+              cell_timeout_s: Optional[float]) -> None:
+    """Drive the cell-granular pool until every cell is resolved."""
+    from repro.parallel.executor import _run_cells
+
+    poll_s = (_MAX_POLL_S if cell_timeout_s is None
+              else min(_MAX_POLL_S,
+                       cell_timeout_s * _POLL_TIMEOUT_FRACTION))
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)))
+        fut_info: Dict[Any, Tuple[int, int]] = {}
+        running_since: Dict[Any, float] = {}
+        broken = False
+
+        def submit(index: int, attempt: int) -> bool:
+            state.note_injections(index, attempt)
+            state.executed.add(index)
+            state.n_attempts_submitted += 1
+            try:
+                fut = pool.submit(_run_cells, state.scenario,
+                                  [state.indexed[index]], False,
+                                  state.tracing, state.chaos, attempt)
+            except (BrokenProcessPool, RuntimeError):
+                pending.append((index, attempt))
+                return False
+            fut_info[fut] = (index, attempt)
+            return True
+
+        def charge_death(index: int, attempt: int) -> None:
+            if attempt < state.retries + 1:
+                state.charge_retry()
+                pending.append((index, attempt + 1))
+            else:
+                state.quarantine_cell(
+                    index, "killed", attempt,
+                    "worker process died (BrokenProcessPool)")
+
+        try:
+            while pending:
+                if not submit(*pending.popleft()):
+                    broken = True
+                    break
+            while fut_info and not broken:
+                done, _ = wait(set(fut_info), timeout=poll_s,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, attempt = fut_info.pop(fut)
+                    running_since.pop(fut, None)
+                    try:
+                        outcome = fut.result()[0]
+                    except BrokenProcessPool:
+                        broken = True
+                        state.reg.counter(
+                            "sweep.worker_deaths_total").inc()
+                        with obs.span("chaos.worker_death",
+                                      attrs={"cell_index": index}):
+                            pass
+                        charge_death(index, attempt)
+                        continue
+                    except CancelledError:
+                        pending.append((index, attempt))
+                        continue
+                    if outcome[3] is None:
+                        state.record_ok(outcome, attempt)
+                    else:
+                        state.record_failed_attempt(outcome, attempt)
+                        if attempt < state.retries + 1:
+                            state.charge_retry()
+                            if not submit(index, attempt + 1):
+                                broken = True
+                        else:
+                            state.record_exhausted(outcome)
+                if broken or cell_timeout_s is None:
+                    continue
+                # -- watchdog: quarantine the longest-overdue cell ----
+                now_s = time.perf_counter()
+                for fut in fut_info:
+                    if fut.running() and fut not in running_since:
+                        running_since[fut] = now_s
+                overdue = [(now_s - t0_s, fut)
+                           for fut, t0_s in running_since.items()
+                           if fut in fut_info
+                           and now_s - t0_s > cell_timeout_s]
+                if not overdue:
+                    continue
+                _elapsed_s, victim = max(overdue,
+                                         key=lambda pair: pair[0])
+                index, attempt = fut_info.pop(victim)
+                state.quarantine_cell(
+                    index, "timed_out", attempt,
+                    f"exceeded cell_timeout_s={cell_timeout_s:g}")
+                state.reg.counter("sweep.worker_deaths_total").inc()
+                with obs.span("chaos.watchdog_kill",
+                              attrs={"cell_index": index}):
+                    pass
+                # innocents requeue with no attempt charged: the
+                # harness, not the cell, is killing their worker
+                for j, att in fut_info.values():
+                    pending.append((j, att))
+                fut_info.clear()
+                _kill_pool_workers(pool)
+                break
+            if broken:
+                # classify whatever the dead pool still owed us
+                for fut, (index, attempt) in list(fut_info.items()):
+                    try:
+                        outcome = fut.result(timeout=0)[0]
+                    except BrokenProcessPool:
+                        if (fut in running_since
+                                or state.chaos_killed(index, attempt)):
+                            charge_death(index, attempt)
+                        else:
+                            pending.append((index, attempt))
+                    except (CancelledError, TimeoutError):
+                        pending.append((index, attempt))
+                    else:
+                        if outcome[3] is None:
+                            state.record_ok(outcome, attempt)
+                        elif attempt < state.retries + 1:
+                            state.record_failed_attempt(outcome, attempt)
+                            state.charge_retry()
+                            pending.append((index, attempt + 1))
+                        else:
+                            state.record_failed_attempt(outcome, attempt)
+                            state.record_exhausted(outcome)
+                fut_info.clear()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_serial(state: _RobustState,
+                pending: "deque[Tuple[int, int]]") -> None:
+    """In-process robust loop: journal + retries, no watchdog.
+
+    (A single process cannot kill its own hung cell; ``run_sweep``
+    rejects kill-worker chaos faults before routing here and the
+    watchdog timeout is documented as pool-only.)
+    """
+    from repro.parallel.executor import _run_cells
+
+    while pending:
+        index, attempt = pending.popleft()
+        state.note_injections(index, attempt)
+        state.executed.add(index)
+        state.n_attempts_submitted += 1
+        outcome = _run_cells(state.scenario, [state.indexed[index]],
+                             False, state.tracing, state.chaos,
+                             attempt)[0]
+        if outcome[3] is None:
+            state.record_ok(outcome, attempt)
+        else:
+            state.record_failed_attempt(outcome, attempt)
+            if attempt < state.retries + 1:
+                state.charge_retry()
+                pending.appendleft((index, attempt + 1))
+            else:
+                state.record_exhausted(outcome)
+
+
+def execute_robust(scenario: Callable[..., Mapping[str, float]],
+                   names: Sequence[str],
+                   cells: Sequence[Dict[str, Any]],
+                   indexed: Sequence[Tuple[int, Dict[str, Any]]],
+                   *,
+                   mode: str,
+                   workers: int,
+                   tracing: str,
+                   journal_path: Optional[str],
+                   resume: bool,
+                   cell_timeout_s: Optional[float],
+                   retries: int,
+                   chaos: Optional[ChaosPlan],
+                   base_seed: Optional[int],
+                   seed_param: str) -> RobustRun:
+    """Run a sweep's cells under the robustness harness.
+
+    Called by :func:`repro.parallel.executor.run_sweep` after grid
+    expansion, seed injection, and mode/tracing resolution; returns
+    outcome tuples in the executor's own format plus the quarantine
+    list and accounting, so the merge path is shared with the plain
+    executor and cannot drift.
+    """
+    journal: Optional[SweepJournal] = None
+    replay: Dict[int, Dict[str, Any]] = {}
+    if journal_path is not None:
+        header = make_header(len(cells), grid_hash(names, cells),
+                             scenario, base_seed, seed_param)
+        journal, replay = SweepJournal.for_run(
+            journal_path, header, resume=resume)
+
+    state = _RobustState(scenario, cells, indexed, False, tracing,
+                         retries, chaos, journal)
+    index_params = dict(indexed)
+    for index, rec in replay.items():
+        expected = params_hash(index_params[index])
+        if rec.get("params_hash") != expected:
+            raise JournalError(
+                f"journal cell #{index} was computed with different "
+                "parameters; refusing to replay it")
+        # replayed spans are not re-adopted: they belong to the run
+        # that recorded them, not to this timeline
+        state.outcomes[index] = (index, float(rec.get("elapsed_s", 0.0)),
+                                 rec.get("metrics", {}), None, "", [])
+    if replay:
+        state.reg.counter("sweep.journal_replayed_total").inc(len(replay))
+
+    pending = deque((i, 1) for i, _ in indexed if i not in state.outcomes)
+    try:
+        if mode == "process-pool":
+            _run_pool(state, pending, workers, cell_timeout_s)
+        else:
+            _run_serial(state, pending)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return RobustRun(
+        outcomes=list(state.outcomes.values()),
+        quarantined=[state.quarantine[i]
+                     for i in sorted(state.quarantine)],
+        n_replayed=len(replay),
+        n_executed=len(state.executed),
+        n_retried=state.n_retried,
+        n_chunks=state.n_attempts_submitted,
+    )

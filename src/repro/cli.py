@@ -20,6 +20,8 @@ command                what it does
 ``obs trace``          traced sweep -> Chrome/JSONL timeline (repro.obs)
 ``obs stats``          instrumented run -> Prometheus text exposition
 ``obs top``            rank the slowest spans of a trace
+``chaos plan``         print a deterministic fault schedule (repro.chaos)
+``chaos run``          run a sweep under fault injection + recovery
 ====================  ====================================================
 
 Everything prints to stdout; machine-readable exports go through
@@ -141,11 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="overrides",
                     help="override one grid parameter's value list, "
                          "e.g. --set max_delay_h=3,6,12")
+    sw.add_argument("--journal", default=None, metavar="FILE",
+                    help="write an fsync'd JSONL cell-outcome journal "
+                         "(the sweep's checkpoint; see repro.chaos)")
+    sw.add_argument("--resume", action="store_true",
+                    help="replay --journal's completed cells, "
+                         "re-execute only the missing/failed ones")
+    sw.add_argument("--cell-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-cell watchdog: quarantine a cell running "
+                         "longer than this (needs --workers > 1)")
+    sw.add_argument("--retries", type=int, default=0,
+                    help="re-run a failing cell up to this many extra "
+                         "times before giving up on it (default: 0)")
 
     from repro.obs.cli import add_obs_subparsers
     add_obs_subparsers(sub.add_parser(
         "obs", help="observability: tracing, metrics, profiling "
                     "(see repro.obs)"))
+
+    from repro.chaos.cli import add_chaos_subparsers
+    add_chaos_subparsers(sub.add_parser(
+        "chaos", help="fault injection + crash-safe sweep harness "
+                      "(see repro.chaos)"))
     return p
 
 
@@ -396,7 +416,11 @@ def _cmd_sweep(args) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             strict=not args.no_strict,
-            grid_overrides=_parse_grid_overrides(args.overrides))
+            grid_overrides=_parse_grid_overrides(args.overrides),
+            journal_path=args.journal,
+            resume=args.resume,
+            cell_timeout_s=args.cell_timeout,
+            retries=args.retries)
     except (KeyError, ValueError) as e:
         raise SystemExit(f"sweep: {e.args[0] if e.args else e}")
     except SweepCellError as e:
@@ -405,6 +429,8 @@ def _cmd_sweep(args) -> int:
     print(result.render())
     for failure in result.failures:
         print(f"FAILED {failure.describe()}")
+    for q in result.quarantined:
+        print(f"QUARANTINED {q.describe()}")
     s = result.stats
     print()
     print(f"{s.n_cells} cells in {s.wall_s:.2f} s wall "
@@ -413,6 +439,10 @@ def _cmd_sweep(args) -> int:
           f"speedup {s.effective_parallelism:.2f}x over one-by-one")
     if s.fallback_reason:
         print(f"serial fallback: {s.fallback_reason}")
+    if s.journal_path:
+        extra = (f", {s.n_replayed} replayed, {s.n_executed} executed"
+                 if s.n_replayed else "")
+        print(f"journal: {s.journal_path}{extra}")
     return 0
 
 
@@ -454,6 +484,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "obs":
         from repro.obs.cli import run as _obs_run
         return _obs_run(args)
+    elif args.command == "chaos":
+        from repro.chaos.cli import run as _chaos_run
+        return _chaos_run(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -74,25 +74,36 @@ _Outcome = Tuple[int, float, Optional[Dict[str, Any]],
 _TRACE_OFF, _TRACE_INLINE, _TRACE_CAPTURE = "off", "inline", "capture"
 
 
-def _portable_error(error: BaseException) -> BaseException:
+def _portable_error(error: BaseException,
+                    tb_text: str = "") -> BaseException:
     """The exception itself if it survives pickling, else a stand-in.
 
     Worker exceptions cross a process boundary; an unpicklable one
     (e.g. carrying an open handle) must not take the whole sweep down
     with a ``PicklingError``, so it degrades to a ``RuntimeError``
-    carrying the original type name and message.
+    carrying the original type name and message — plus, when
+    ``tb_text`` is given, the worker-side traceback as a ``__notes__``
+    entry (notes live in the instance dict, so they pickle with the
+    stand-in and ``CellFailure`` diagnostics keep the real stack
+    instead of a bare repr).
     """
     try:
         pickle.loads(pickle.dumps(error))
         return error
     except Exception:
-        return RuntimeError(f"{type(error).__name__}: {error}")
+        stand_in = RuntimeError(f"{type(error).__name__}: {error}")
+        if tb_text:
+            stand_in.add_note(
+                "original worker traceback:\n" + tb_text.rstrip())
+        return stand_in
 
 
 def _run_cells(scenario: Callable[..., Mapping[str, float]],
                indexed_cells: Sequence[Tuple[int, Dict[str, Any]]],
                stop_on_error: bool,
-               tracing: str = _TRACE_OFF) -> List[_Outcome]:
+               tracing: str = _TRACE_OFF,
+               chaos: Optional[Any] = None,
+               attempt: int = 1) -> List[_Outcome]:
     """Evaluate cells in order; the worker side of one chunk.
 
     Must stay module-level (pickled by reference into pool workers).
@@ -102,6 +113,12 @@ def _run_cells(scenario: Callable[..., Mapping[str, float]],
     buffer), and each cell's spans — the ``sweep.cell`` wrapper plus
     whatever the scenario opened inside it — are drained into the
     outcome tuple so the parent can merge one coherent timeline.
+
+    ``chaos``/``attempt`` come from the robust path
+    (:mod:`repro.chaos.runner`): the plan's cell-level faults fire
+    here, on the worker side of the process boundary, before the
+    scenario runs — a ``raise`` fault is indistinguishable from a
+    scenario exception, a ``kill_worker`` fault from a real node loss.
     """
     tracer = obs.get_tracer()
     if tracing == _TRACE_CAPTURE:
@@ -112,6 +129,8 @@ def _run_cells(scenario: Callable[..., Mapping[str, float]],
     for index, params in indexed_cells:
         t0 = time.perf_counter()
         try:
+            if chaos is not None:
+                chaos.apply_in_worker(index, attempt)
             if tracing == _TRACE_OFF:
                 metrics = dict(scenario(**params))
             else:
@@ -120,8 +139,9 @@ def _run_cells(scenario: Callable[..., Mapping[str, float]],
         except Exception as error:  # cell fault, not harness fault
             spans = ([s.to_dict() for s in tracer.drain()]
                      if tracing == _TRACE_CAPTURE else [])
+            tb_text = traceback.format_exc()
             out.append((index, time.perf_counter() - t0, None,
-                        _portable_error(error), traceback.format_exc(),
+                        _portable_error(error, tb_text), tb_text,
                         spans))
             if stop_on_error:
                 break
@@ -203,17 +223,40 @@ def run_sweep(scenario: Callable[..., Mapping[str, float]],
               chunk_size: int = 0,
               strict: bool = True,
               base_seed: Optional[int] = None,
-              seed_param: str = "seed") -> SweepResult:
+              seed_param: str = "seed",
+              journal_path: Optional[str] = None,
+              resume: bool = False,
+              cell_timeout_s: Optional[float] = None,
+              retries: int = 0,
+              chaos: Optional[Any] = None) -> SweepResult:
     """Evaluate ``scenario`` over ``grid``, optionally across processes.
 
     Parameters mirror :func:`repro.analysis.sweep.sweep`; this is the
     single implementation behind both the serial and parallel paths, so
     their semantics cannot drift apart.
+
+    Any robustness keyword (``journal_path``/``resume``/
+    ``cell_timeout_s``/``retries``/``chaos``) routes cell execution
+    through :func:`repro.chaos.runner.execute_robust` — cell-granular
+    futures, an fsync'd journal, watchdog, retry, quarantine — while
+    grid expansion, seeding, tracing, and the merge stay on this
+    path, so robust rows cannot drift from plain rows.
     """
     if workers is None or workers == 0:
         workers = os.cpu_count() or 1
     if workers < 0:
         raise ValueError(f"workers must be >= 0 or None, got {workers}")
+    if resume and journal_path is None:
+        raise ValueError("resume=True needs journal_path: the journal "
+                         "is what a resumed run replays")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if cell_timeout_s is not None and cell_timeout_s <= 0:
+        raise ValueError(
+            f"cell_timeout_s must be positive, got {cell_timeout_s}")
+    robust = (journal_path is not None or resume
+              or cell_timeout_s is not None or retries > 0
+              or chaos is not None)
     names, cells = expand_grid(grid)
     if base_seed is not None:
         _check_seed_param(scenario, seed_param)
@@ -237,6 +280,21 @@ def run_sweep(scenario: Callable[..., Mapping[str, float]],
             if obstacle is not None:
                 mode, fallback_reason = "serial-fallback", obstacle
 
+    if robust and mode != "process-pool":
+        # journal/resume/retry/raise-faults all work in-process, but a
+        # single process can neither kill its own hung cell nor
+        # survive killing itself
+        why = fallback_reason or f"workers={workers} runs in-process"
+        if cell_timeout_s is not None:
+            raise ValueError(
+                f"cell_timeout_s needs a process pool ({why}); the "
+                "watchdog cannot kill a hung cell in its own process")
+        if chaos is not None and getattr(chaos, "has_kill_faults",
+                                         False):
+            raise ValueError(
+                f"kill_worker chaos faults need a process pool ({why}); "
+                "SIGKILLing the only process would kill the sweep")
+
     tracer = obs.get_tracer()
     if not tracer.enabled:
         tracing = _TRACE_OFF
@@ -245,10 +303,26 @@ def run_sweep(scenario: Callable[..., Mapping[str, float]],
     else:
         tracing = _TRACE_INLINE
 
+    robust_run = None
     t0 = time.perf_counter()
     with obs.span("sweep.run", attrs={"n_cells": len(cells),
                                       "workers": workers, "mode": mode}):
-        if mode == "process-pool":
+        if robust:
+            from repro.chaos.runner import execute_robust
+            robust_run = execute_robust(
+                scenario, names, cells, indexed,
+                mode=mode, workers=workers, tracing=tracing,
+                journal_path=journal_path, resume=resume,
+                cell_timeout_s=cell_timeout_s, retries=retries,
+                chaos=chaos, base_seed=base_seed,
+                seed_param=seed_param)
+            outcomes = robust_run.outcomes
+            n_chunks = robust_run.n_chunks
+            if tracing == _TRACE_CAPTURE:
+                for _, _, _, _, _, span_dicts in sorted(
+                        outcomes, key=lambda o: o[0]):
+                    tracer.adopt(span_dicts)
+        elif mode == "process-pool":
             plan = plan_chunks(
                 len(cells), chunk_count(len(cells), workers, chunk_size))
             with ProcessPoolExecutor(max_workers=min(workers,
@@ -278,7 +352,16 @@ def run_sweep(scenario: Callable[..., Mapping[str, float]],
         mode=mode, wall_s=wall_s,
         cell_times_s=[o[1] for o in sorted(outcomes,
                                            key=lambda o: o[0])],
-        fallback_reason=fallback_reason)
+        fallback_reason=fallback_reason,
+        n_executed=len(outcomes))
+    if robust_run is not None:
+        result.quarantined = robust_run.quarantined
+        result.stats.n_replayed = robust_run.n_replayed
+        result.stats.n_executed = robust_run.n_executed
+        result.stats.n_retried = robust_run.n_retried
+        result.stats.journal_path = (str(journal_path)
+                                     if journal_path is not None
+                                     else None)
     if strict and result.failures:
         first = min(result.failures, key=lambda fl: fl.index)
         raise SweepCellError(first) from first.error

@@ -87,12 +87,19 @@ def run_registered(name: str,
                    chunk_size: int = 0,
                    strict: bool = True,
                    grid_overrides: Optional[
-                       Mapping[str, Sequence[Any]]] = None) -> SweepResult:
+                       Mapping[str, Sequence[Any]]] = None,
+                   journal_path: Optional[str] = None,
+                   resume: bool = False,
+                   cell_timeout_s: Optional[float] = None,
+                   retries: int = 0,
+                   chaos: Optional[Any] = None) -> SweepResult:
     """Run a registered sweep through the parallel executor.
 
     ``grid_overrides`` replaces individual parameters' value lists
     (unknown parameter names are rejected — a typo must not silently
-    run the default grid).
+    run the default grid).  The robustness keywords pass straight
+    through to :func:`repro.parallel.executor.run_sweep` (journal,
+    resume, watchdog, retries, chaos plan — see :mod:`repro.chaos`).
     """
     from repro.parallel.executor import run_sweep
 
@@ -107,7 +114,10 @@ def run_registered(name: str,
     return run_sweep(spec.scenario, grid, spec.metric_names,
                      workers=workers, chunk_size=chunk_size,
                      strict=strict, base_seed=spec.base_seed,
-                     seed_param=spec.seed_param)
+                     seed_param=spec.seed_param,
+                     journal_path=journal_path, resume=resume,
+                     cell_timeout_s=cell_timeout_s, retries=retries,
+                     chaos=chaos)
 
 
 def _ensure_stock_loaded() -> None:

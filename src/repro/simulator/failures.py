@@ -20,8 +20,8 @@ from typing import List
 
 import numpy as np
 
+from repro import obs, units
 from repro.simulator.node import NodeState
-from repro import units
 
 __all__ = ["FailureInjector"]
 
@@ -40,11 +40,16 @@ class FailureInjector:
         RNG seed; injection is reproducible.
     max_failures:
         Safety cap for tests (0 = unlimited).
+    kind:
+        Label for the ``simulator.failures_injected_total`` obs counter
+        (every injection is visible to the metrics registry, not just
+        to the injector's own ``failures`` log).
     """
 
     def __init__(self, mtbf_seconds: float,
                  repair_seconds: float = 4 * units.SECONDS_PER_HOUR,
-                 seed: int = 0, max_failures: int = 0) -> None:
+                 seed: int = 0, max_failures: int = 0,
+                 kind: str = "node") -> None:
         if mtbf_seconds <= 0:
             raise ValueError("MTBF must be positive")
         if repair_seconds <= 0:
@@ -55,6 +60,7 @@ class FailureInjector:
         self.repair_seconds = float(repair_seconds)
         self.rng = np.random.default_rng(seed)
         self.max_failures = int(max_failures)
+        self.kind = str(kind)
         #: (time, node_id) log of injected failures
         self.failures: List[tuple] = []
 
@@ -68,6 +74,9 @@ class FailureInjector:
             if self.rng.random() < p:
                 rjms.fail_node(node.node_id, self.repair_seconds)
                 self.failures.append((rjms.now, node.node_id))
+                obs.metrics().counter(
+                    "simulator.failures_injected_total",
+                    labels={"kind": self.kind}).inc()
                 if self.max_failures and \
                         len(self.failures) >= self.max_failures:
                     return

@@ -126,6 +126,45 @@ class TestClaimsUnderTracing:
         assert len(cell_spans) == len(traced.rows)
 
 
+class TestClaimsUnderChaos:
+    """The robustness harness must never perturb results (DESIGN.md
+    §5f): the headline sweep re-runs under an *active* chaos plan
+    whose faults all fall outside the grid — zero effective faults —
+    plus journal and retry budget, and must come out bit-identical."""
+
+    def test_shares_pinned_under_inert_chaos_plan(self, tmp_path):
+        from repro.chaos import ChaosPlan, FaultSpec
+
+        grid = {"system_name": sorted(PAPER_MEMORY_STORAGE_SHARES)}
+        plan = ChaosPlan(faults=(FaultSpec.raise_at(97),
+                                 FaultSpec.delay_at(98, 5.0),
+                                 FaultSpec.kill_worker_at(99)), seed=5)
+        assert plan.effective_fault_count(len(grid["system_name"])) == 0
+        plain = run_sweep(memory_storage_cell, grid, workers=2)
+        chaotic = run_sweep(memory_storage_cell, grid, workers=2,
+                            retries=1, chaos=plan,
+                            journal_path=tmp_path / "claims.jsonl")
+        assert chaotic.rows == plain.rows
+        assert not chaotic.failures and not chaotic.quarantined
+        measured = dict(zip(chaotic.column("system_name"),
+                            chaotic.column("share")))
+        for name, target in PAPER_MEMORY_STORAGE_SHARES.items():
+            assert measured[name] == pytest.approx(target, abs=0.01)
+
+    def test_resumed_claims_match_uninterrupted(self, tmp_path):
+        """Journal-resume over the claim grid: replayed rows carry
+        the same pinned numbers the fresh computation produced."""
+        grid = {"system_name": sorted(PAPER_MEMORY_STORAGE_SHARES)}
+        journal = tmp_path / "claims.jsonl"
+        plain = run_sweep(memory_storage_cell, grid, workers=1)
+        run_sweep(memory_storage_cell, grid, workers=1,
+                  journal_path=journal)
+        resumed = run_sweep(memory_storage_cell, grid, workers=1,
+                            journal_path=journal, resume=True)
+        assert resumed.stats.n_replayed == len(plain.rows)
+        assert resumed.rows == plain.rows
+
+
 class TestLifecycleClaims:
     def test_hdd_reuse_275x_recycling(self):
         """'reusing HDDs leads to 275x more carbon emissions reductions

@@ -69,6 +69,25 @@ class TestObsPackageCovered:
             + render_text(findings))
 
 
+class TestChaosPackageCovered:
+    """The robustness harness carries cell timings, watchdog timeouts,
+    and journaled metrics in carbon units — it stays under the same
+    dimensional-consistency gate as the sweeps it protects."""
+
+    def test_chaos_package_is_in_the_scanned_tree(self):
+        chaos = SRC / "chaos"
+        assert chaos.is_dir()
+        modules = {p.name for p in chaos.glob("*.py")}
+        assert {"journal.py", "plan.py", "runner.py", "cli.py",
+                "__init__.py"} <= modules
+
+    def test_chaos_package_is_clean(self):
+        findings = lint_paths([SRC / "chaos"])
+        assert not findings, (
+            "repro.lint found problems in src/repro/chaos:\n"
+            + render_text(findings))
+
+
 class TestParallelPackageCovered:
     """The sweep executor carries wall-clock seconds, per-cell times,
     and scenario metrics in carbon units — it stays under the same

@@ -4,9 +4,17 @@ Non-strict mode turns a raising cell into ``(params, exception)`` on
 ``result.failures`` while every other cell still runs (the pool is not
 poisoned).  Strict mode re-raises as ``SweepCellError`` naming the
 offending parameter assignment, with the original exception chained.
+
+``TestWorkerDeathRecovery`` covers the harder boundary: a worker
+process SIGKILLed mid-cell (a real node loss, not a Python
+exception) — the robust path must survive the resulting
+``BrokenProcessPool``, journal everything that completed, and a
+resumed run must reproduce the exact serial rows.
 """
 
+import os
 import pickle
+import signal
 
 import pytest
 
@@ -107,6 +115,21 @@ class TestWorkerBoundary:
         assert "open handle" in str(r.failures[0].error)
         pickle.dumps(r.failures[0].error)  # and is itself portable
 
+    def test_unpicklable_stand_in_carries_worker_traceback(self):
+        """The degraded stand-in keeps the real stack as a
+        ``__notes__`` entry, which pickles with the exception — the
+        diagnostics are not reduced to a bare repr."""
+        r = run_sweep(unpicklable_failure_cell, {"x": [0.0, 1.0, 2.0]},
+                      workers=2, strict=False)
+        error = r.failures[0].error
+        notes = "\n".join(getattr(error, "__notes__", []))
+        assert "unpicklable_failure_cell" in notes
+        assert "Unpicklable" in notes
+        # and the notes survive the pickle round trip themselves
+        revived = pickle.loads(pickle.dumps(error))
+        assert "unpicklable_failure_cell" in \
+            "\n".join(revived.__notes__)
+
     def test_traceback_text_travels_with_the_failure(self):
         r = run_sweep(brittle_cell, GRID, workers=2, strict=False)
         assert "brittle_cell" in r.failures[0].traceback_text
@@ -114,3 +137,85 @@ class TestWorkerBoundary:
     def test_base_seed_requires_seed_parameter(self):
         with pytest.raises(ValueError, match="seed"):
             run_sweep(brittle_cell, GRID, workers=1, base_seed=7)
+
+
+def kill_once_cell(x, sentinel):
+    """SIGKILLs its own worker on x=2.0 — once.
+
+    The sentinel file records that the kill already happened, so the
+    retried attempt (or the resumed run) computes normally: exactly
+    the shape of a node that died and was replaced.
+    """
+    if x == 2.0 and not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as fh:
+            fh.write("killed once\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"m": x * 10.0, "half": x / 2.0}
+
+
+class TestWorkerDeathRecovery:
+    """A SIGKILLed worker mid-sweep: recovery, journal, resume parity."""
+
+    def serial_rows(self, sentinel):
+        with open(sentinel, "w", encoding="utf-8") as fh:
+            fh.write("pre-armed: serial baseline must not die\n")
+        rows = run_sweep(kill_once_cell,
+                         dict(GRID, sentinel=[str(sentinel)]),
+                         workers=1).rows
+        os.unlink(sentinel)
+        return rows
+
+    def test_retry_recovers_from_sigkill_in_one_run(self, tmp_path):
+        sentinel = tmp_path / "killed"
+        expected = self.serial_rows(sentinel)
+        r = run_sweep(kill_once_cell,
+                      dict(GRID, sentinel=[str(sentinel)]),
+                      workers=2, retries=2)
+        assert r.rows == expected
+        assert not r.quarantined
+        assert r.stats.n_retried >= 1
+
+    def test_journal_plus_resume_reproduces_serial_rows(self, tmp_path):
+        """The satellite's acceptance shape: SIGKILL a pool worker
+        mid-sweep, then resume from the journal and get rows
+        bit-identical to the uninterrupted serial run."""
+        sentinel = tmp_path / "killed"
+        expected = self.serial_rows(sentinel)
+        journal = tmp_path / "sweep.jsonl"
+        grid = dict(GRID, sentinel=[str(sentinel)])
+
+        first = run_sweep(kill_once_cell, grid, workers=2,
+                          journal_path=journal)  # retries=0: no mercy
+        killed = {q.index for q in first.quarantined
+                  if q.status == "killed"}
+        assert 2 in killed  # the self-killing cell was charged
+        assert len(first.rows) == 6 - len(killed)
+
+        resumed = run_sweep(kill_once_cell, grid, workers=2,
+                            journal_path=journal, resume=True)
+        assert resumed.rows == expected
+        assert resumed.stats.n_replayed == len(first.rows)
+        assert resumed.stats.n_executed == len(killed)
+
+    def test_death_without_journal_still_quarantines(self, tmp_path):
+        """Harness armed (watchdog only), no journal, no retries: the
+        grid still completes minus the quarantined cells instead of
+        dying with BrokenProcessPool."""
+        sentinel = tmp_path / "killed"
+        expected = self.serial_rows(sentinel)
+        r = run_sweep(kill_once_cell,
+                      dict(GRID, sentinel=[str(sentinel)]),
+                      workers=2, cell_timeout_s=60.0)
+        assert all(row in expected for row in r.rows)
+        assert any(q.status == "killed" for q in r.quarantined)
+        assert len(r.rows) + len(r.quarantined) == 6
+
+    def test_plain_path_still_propagates_pool_breakage(self, tmp_path):
+        """Without any robustness keyword the fast chunked path is
+        untouched — a dead worker is still a hard error."""
+        import concurrent.futures.process as cfp
+        sentinel = tmp_path / "killed"
+        with pytest.raises(cfp.BrokenProcessPool):
+            run_sweep(kill_once_cell,
+                      dict(GRID, sentinel=[str(sentinel)]),
+                      workers=2)

@@ -143,6 +143,42 @@ class TestFailureInjector:
 
         assert run() == run()
 
+    def test_injections_counted_in_obs_registry(self, node_power_model):
+        """Every injected node failure is visible to the metrics
+        registry (``simulator_failures_injected_total``, labeled by
+        kind), not just to the injector's own log."""
+        from repro import obs
+
+        obs.reset()
+        try:
+            cfg = WorkloadConfig(n_jobs=20, mean_interarrival_s=2500.0,
+                                 max_nodes_log2=2,
+                                 runtime_median_s=2 * HOUR)
+            jobs = WorkloadGenerator(cfg, seed=8).generate()
+            rjms = RJMS(Cluster(8, node_power_model), jobs,
+                        EasyBackfillPolicy())
+            inj = FailureInjector(mtbf_seconds=30 * HOUR,
+                                  repair_seconds=HOUR, seed=5,
+                                  max_failures=5)
+            rjms.register_manager(inj)
+            rjms.run()
+            assert len(inj.failures) > 0
+            counter = obs.metrics().counter(
+                "simulator.failures_injected_total",
+                labels={"kind": "node"})
+            assert counter.value == len(inj.failures)
+            rendered = obs.metrics().render_prometheus(prefix="repro")
+            assert ("repro_simulator_failures_injected_total"
+                    '{kind="node"}') in rendered
+        finally:
+            obs.reset()
+
+    def test_injection_kind_label_is_configurable(self, node_power_model):
+        from repro import obs
+
+        assert FailureInjector(1e6, kind="switch").kind == "switch"
+        obs.reset()
+
     def test_failures_cost_energy(self, node_power_model):
         """Restarted work burns energy twice — the carbon cost of
         unreliability (ties §2.3 reliability to §3 operations)."""

@@ -70,6 +70,71 @@ class TestCommands:
         assert "seasonal-naive" in out and "RMSE" in out
 
 
+class TestSweepRobustnessFlags:
+    def test_defaults_leave_the_fast_path_alone(self):
+        args = build_parser().parse_args(["sweep", "footprint"])
+        assert args.journal is None
+        assert args.resume is False
+        assert args.cell_timeout is None
+        assert args.retries == 0
+
+    def test_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["sweep", "footprint", "--journal",
+             str(tmp_path / "j.jsonl"), "--resume",
+             "--cell-timeout", "30", "--retries", "2"])
+        assert args.journal.endswith("j.jsonl")
+        assert args.resume is True
+        assert args.cell_timeout == 30.0
+        assert args.retries == 2
+
+    def test_journal_then_resume_replays(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(["sweep", "backfill-delay", "--journal",
+                     journal]) == 0
+        out = capsys.readouterr().out
+        assert f"journal: {journal}" in out
+        assert main(["sweep", "backfill-delay", "--journal", journal,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "4 replayed, 0 executed" in out
+
+
+class TestChaosCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_plan_prints_schedule_and_effective_count(self, capsys):
+        assert main(["chaos", "plan", "--raise-at", "2",
+                     "--delay-at", "3:0.5", "--cells", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "raise ChaosInjectedError at cell #2" in out
+        assert "delay cell #3 by 0.5 s" in out
+        assert "effective on a 15-cell grid: 2 cell-level fault(s)" in out
+
+    def test_plan_rejects_bad_delay_spec(self):
+        with pytest.raises(SystemExit, match="CELL:SECONDS"):
+            main(["chaos", "plan", "--delay-at", "oops"])
+
+    def test_run_recovers_injected_raise(self, capsys, tmp_path):
+        assert main(["chaos", "run", "backfill-delay",
+                     "--raise-at", "1", "--retries", "1",
+                     "--workers", "2", "--journal",
+                     str(tmp_path / "j.jsonl")]) == 0
+        out = capsys.readouterr().out
+        # all rows delivered despite the fault, and the obs registry
+        # shows the injection and its recovery
+        assert "1 retried" in out
+        assert "0 failed, 0 quarantined" in out
+        assert 'repro_chaos_faults_injected_total{kind="raise"} 1' in out
+        assert 'repro_chaos_faults_recovered_total{kind="raise"} 1' in out
+
+    def test_run_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="chaos:"):
+            main(["chaos", "run", "no-such-sweep"])
+
+
 class TestServiceCommand:
     def test_service_requires_subcommand(self):
         with pytest.raises(SystemExit):
