@@ -21,13 +21,18 @@ What differs from the plain path:
   cells.
 * **Watchdog.**  With ``cell_timeout_s`` set, the longest-overdue
   running cell is quarantined ``timed_out``, the pool's workers are
-  killed and the pool respawned; other in-flight cells requeue without
-  being charged an attempt.
+  killed and the pool respawned; bystanders that already finished
+  keep their results, the rest requeue without being charged an
+  attempt.
 * **Worker-death recovery.**  A ``BrokenProcessPool`` (SIGKILL, OOM)
-  charges an attempt to every cell observed in flight (plus any cell
-  whose chaos plan says it killed the worker); charged cells retry
-  while budget remains, then quarantine ``killed``.  Everything else
-  requeues free and the pool respawns.
+  charges an attempt to every cell that was mid-execution when the
+  pool died — workers bracket each attempt with start/finish markers,
+  so "mid-execution" is known even when the death outruns the
+  watchdog poll — plus any cell whose chaos plan says it killed the
+  worker; charged cells retry while budget remains, then quarantine
+  ``killed``.  Queued bystanders and cells that finished but whose
+  results went down with the pool requeue free, uncharged, and the
+  pool respawns.
 * **Accounting.**  Retries, quarantines, worker deaths, and every
   injected/recovered chaos fault land in the :mod:`repro.obs`
   registry and (when tracing) as ``chaos.*`` spans.
@@ -35,6 +40,9 @@ What differs from the plain path:
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import (
@@ -43,6 +51,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
@@ -111,6 +120,8 @@ class _RobustState:
         self.quarantine: Dict[int, CellQuarantine] = {}
         #: chaos fault kinds already fired per cell (for recovery stats)
         self.fired_kinds: Dict[int, List[str]] = {}
+        #: (cell, attempt) pairs whose injections are already counted
+        self.injections_noted: Set[Tuple[int, int]] = set()
         self.executed: Set[int] = set()
         self.n_retried = 0
         self.n_attempts_submitted = 0
@@ -119,9 +130,16 @@ class _RobustState:
     # -- accounting ----------------------------------------------------------
 
     def note_injections(self, index: int, attempt: int) -> None:
-        """Count the chaos faults that will fire on this attempt."""
-        if self.chaos is None:
+        """Count the chaos faults that will fire on this attempt.
+
+        Keyed on (cell, attempt): an attempt resubmitted after a free
+        requeue (watchdog innocent, broken-pool bystander, failed
+        submit) fires the same deterministic faults but must not
+        re-count them or duplicate their ``chaos.inject`` spans.
+        """
+        if self.chaos is None or (index, attempt) in self.injections_noted:
             return
+        self.injections_noted.add((index, attempt))
         for f in self.chaos.cell_faults(index, attempt):
             self.fired_kinds.setdefault(index, []).append(f.kind)
             self.reg.counter("chaos.faults_injected_total",
@@ -195,136 +213,233 @@ def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
         proc.kill()
 
 
+def _run_cell_marked(marker_dir: str,
+                     scenario: Callable[..., Mapping[str, float]],
+                     indexed_cells: Sequence[Tuple[int, Dict[str, Any]]],
+                     stop_on_error: bool,
+                     tracing: str,
+                     chaos: Optional[ChaosPlan],
+                     attempt: int) -> List[tuple]:
+    """Worker side of one robust attempt, bracketed by markers.
+
+    The markers are the parent's only reliable evidence of what this
+    (cell, attempt) was doing when its worker died: a broken pool
+    fails every outstanding future wholesale, and ``Future.running()``
+    is useless — it flips true when the item enters the call queue,
+    not when a worker picks it up, and a fast cell can *finish* with
+    its result still undelivered when the pool is declared broken.
+    Start-without-finish is the one state that means "mid-execution".
+    Must stay module-level (pickled by reference into pool workers).
+    """
+    from repro.parallel.executor import _run_cells
+
+    index = indexed_cells[0][0]
+    base = os.path.join(marker_dir, f"{index}.{attempt}")
+    with open(base, "w", encoding="utf-8"):
+        pass
+    outcomes = _run_cells(scenario, indexed_cells, stop_on_error,
+                          tracing, chaos, attempt)
+    with open(base + ".done", "w", encoding="utf-8"):
+        pass
+    return outcomes
+
+
 def _run_pool(state: _RobustState, pending: "deque[Tuple[int, int]]",
               workers: int,
               cell_timeout_s: Optional[float]) -> None:
     """Drive the cell-granular pool until every cell is resolved."""
-    from repro.parallel.executor import _run_cells
-
     poll_s = (_MAX_POLL_S if cell_timeout_s is None
               else min(_MAX_POLL_S,
                        cell_timeout_s * _POLL_TIMEOUT_FRACTION))
-    while pending:
-        pool = ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)))
-        fut_info: Dict[Any, Tuple[int, int]] = {}
-        running_since: Dict[Any, float] = {}
-        broken = False
+    marker_dir = tempfile.mkdtemp(prefix="repro-sweep-started-")
 
-        def submit(index: int, attempt: int) -> bool:
-            state.note_injections(index, attempt)
-            state.executed.add(index)
-            state.n_attempts_submitted += 1
-            try:
-                fut = pool.submit(_run_cells, state.scenario,
-                                  [state.indexed[index]], False,
-                                  state.tracing, state.chaos, attempt)
-            except (BrokenProcessPool, RuntimeError):
-                pending.append((index, attempt))
-                return False
-            fut_info[fut] = (index, attempt)
-            return True
+    def marker(index: int, attempt: int) -> str:
+        return os.path.join(marker_dir, f"{index}.{attempt}")
 
-        def charge_death(index: int, attempt: int) -> None:
-            if attempt < state.retries + 1:
-                state.charge_retry()
-                pending.append((index, attempt + 1))
-            else:
-                state.quarantine_cell(
-                    index, "killed", attempt,
-                    "worker process died (BrokenProcessPool)")
+    try:
+        while pending:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)))
+            fut_info: Dict[Any, Tuple[int, int]] = {}
+            running_since: Dict[Any, float] = {}
+            broken = False
+            death_counted = False
 
-        try:
-            while pending:
-                if not submit(*pending.popleft()):
-                    broken = True
-                    break
-            while fut_info and not broken:
-                done, _ = wait(set(fut_info), timeout=poll_s,
-                               return_when=FIRST_COMPLETED)
-                for fut in done:
-                    index, attempt = fut_info.pop(fut)
-                    running_since.pop(fut, None)
+            def submit(index: int, attempt: int) -> bool:
+                state.note_injections(index, attempt)
+                state.executed.add(index)
+                state.n_attempts_submitted += 1
+                try:
+                    fut = pool.submit(_run_cell_marked, marker_dir,
+                                      state.scenario,
+                                      [state.indexed[index]], False,
+                                      state.tracing, state.chaos,
+                                      attempt)
+                except (BrokenProcessPool, RuntimeError):
+                    pending.append((index, attempt))
+                    return False
+                fut_info[fut] = (index, attempt)
+                return True
+
+            def requeue_free(index: int, attempt: int) -> None:
+                """Requeue with no attempt charged, scrubbing the
+                markers first — the same attempt resubmits, and a
+                stale start marker would wrongly convict the cell at
+                the next worker death."""
+                for path in (marker(index, attempt),
+                             marker(index, attempt) + ".done"):
                     try:
-                        outcome = fut.result()[0]
-                    except BrokenProcessPool:
-                        broken = True
-                        state.reg.counter(
-                            "sweep.worker_deaths_total").inc()
-                        with obs.span("chaos.worker_death",
-                                      attrs={"cell_index": index}):
-                            pass
-                        charge_death(index, attempt)
-                        continue
-                    except CancelledError:
-                        pending.append((index, attempt))
-                        continue
-                    if outcome[3] is None:
-                        state.record_ok(outcome, attempt)
-                    else:
-                        state.record_failed_attempt(outcome, attempt)
-                        if attempt < state.retries + 1:
-                            state.charge_retry()
-                            if not submit(index, attempt + 1):
-                                broken = True
-                        else:
-                            state.record_exhausted(outcome)
-                if broken or cell_timeout_s is None:
-                    continue
-                # -- watchdog: quarantine the longest-overdue cell ----
-                now_s = time.perf_counter()
-                for fut in fut_info:
-                    if fut.running() and fut not in running_since:
-                        running_since[fut] = now_s
-                overdue = [(now_s - t0_s, fut)
-                           for fut, t0_s in running_since.items()
-                           if fut in fut_info
-                           and now_s - t0_s > cell_timeout_s]
-                if not overdue:
-                    continue
-                _elapsed_s, victim = max(overdue,
-                                         key=lambda pair: pair[0])
-                index, attempt = fut_info.pop(victim)
-                state.quarantine_cell(
-                    index, "timed_out", attempt,
-                    f"exceeded cell_timeout_s={cell_timeout_s:g}")
-                state.reg.counter("sweep.worker_deaths_total").inc()
-                with obs.span("chaos.watchdog_kill",
+                        os.remove(path)
+                    except OSError:
+                        pass
+                pending.append((index, attempt))
+
+            def charge_death(index: int, attempt: int) -> None:
+                with obs.span("chaos.worker_death",
                               attrs={"cell_index": index}):
                     pass
-                # innocents requeue with no attempt charged: the
-                # harness, not the cell, is killing their worker
-                for j, att in fut_info.values():
-                    pending.append((j, att))
-                fut_info.clear()
-                _kill_pool_workers(pool)
-                break
-            if broken:
-                # classify whatever the dead pool still owed us
-                for fut, (index, attempt) in list(fut_info.items()):
-                    try:
-                        outcome = fut.result(timeout=0)[0]
-                    except BrokenProcessPool:
-                        if (fut in running_since
-                                or state.chaos_killed(index, attempt)):
-                            charge_death(index, attempt)
-                        else:
-                            pending.append((index, attempt))
-                    except (CancelledError, TimeoutError):
-                        pending.append((index, attempt))
+                if attempt < state.retries + 1:
+                    state.charge_retry()
+                    pending.append((index, attempt + 1))
+                else:
+                    state.quarantine_cell(
+                        index, "killed", attempt,
+                        "worker process died (BrokenProcessPool)")
+
+            def classify_death(index: int, attempt: int) -> None:
+                """One future of a broken pool.  The pool fails *every*
+                outstanding future wholesale, so charge only the cells
+                caught mid-execution (started, never finished) or
+                whose plan killed the worker; queued bystanders and
+                finished-but-undelivered cells requeue free, uncharged
+                (cells are deterministic, so recomputing a lost result
+                is bit-identical)."""
+                nonlocal death_counted
+                if not death_counted:
+                    death_counted = True
+                    state.reg.counter("sweep.worker_deaths_total").inc()
+                mid_execution = (
+                    os.path.exists(marker(index, attempt))
+                    and not os.path.exists(
+                        marker(index, attempt) + ".done"))
+                if mid_execution or state.chaos_killed(index, attempt):
+                    charge_death(index, attempt)
+                else:
+                    requeue_free(index, attempt)
+
+            def settle(index: int, attempt: int,
+                       outcome: tuple) -> None:
+                """Record a harvested outcome; a retry requeues via
+                ``pending`` (both call sites are tearing the pool
+                down, so the next pool picks it up)."""
+                if outcome[3] is None:
+                    state.record_ok(outcome, attempt)
+                else:
+                    state.record_failed_attempt(outcome, attempt)
+                    if attempt < state.retries + 1:
+                        state.charge_retry()
+                        pending.append((index, attempt + 1))
                     else:
+                        state.record_exhausted(outcome)
+
+            try:
+                while pending:
+                    if not submit(*pending.popleft()):
+                        broken = True
+                        break
+                while fut_info and not broken:
+                    done, _ = wait(set(fut_info), timeout=poll_s,
+                                   return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        index, attempt = fut_info.pop(fut)
+                        running_since.pop(fut, None)
+                        try:
+                            outcome = fut.result()[0]
+                        except BrokenProcessPool:
+                            broken = True
+                            classify_death(index, attempt)
+                            continue
+                        except CancelledError:
+                            requeue_free(index, attempt)
+                            continue
                         if outcome[3] is None:
                             state.record_ok(outcome, attempt)
-                        elif attempt < state.retries + 1:
-                            state.record_failed_attempt(outcome, attempt)
-                            state.charge_retry()
-                            pending.append((index, attempt + 1))
                         else:
                             state.record_failed_attempt(outcome, attempt)
-                            state.record_exhausted(outcome)
-                fut_info.clear()
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+                            if attempt < state.retries + 1:
+                                state.charge_retry()
+                                if not submit(index, attempt + 1):
+                                    broken = True
+                            else:
+                                state.record_exhausted(outcome)
+                    if broken or cell_timeout_s is None:
+                        continue
+                    # ``fut.running()`` over-reports (true from the
+                    # moment an item enters the call queue), so the
+                    # watchdog clock starts only once the start marker
+                    # proves a worker actually began the cell
+                    now_s = time.perf_counter()
+                    for fut, (i, a) in fut_info.items():
+                        if (fut not in running_since and fut.running()
+                                and os.path.exists(marker(i, a))):
+                            running_since[fut] = now_s
+                    # -- watchdog: quarantine the longest-overdue cell ----
+                    overdue = [(now_s - t0_s, fut)
+                               for fut, t0_s in running_since.items()
+                               if fut in fut_info
+                               and now_s - t0_s > cell_timeout_s]
+                    if not overdue:
+                        continue
+                    _elapsed_s, victim = max(overdue,
+                                             key=lambda pair: pair[0])
+                    index, attempt = fut_info.pop(victim)
+                    state.quarantine_cell(
+                        index, "timed_out", attempt,
+                        f"exceeded cell_timeout_s={cell_timeout_s:g}")
+                    state.reg.counter("sweep.worker_deaths_total").inc()
+                    with obs.span("chaos.watchdog_kill",
+                                  attrs={"cell_index": index}):
+                        pass
+                    # harvest bystanders that finished between the
+                    # wait() and now: their results are real, and
+                    # discarding them would re-run the cells and
+                    # duplicate their journal records
+                    for fut, (j, att) in list(fut_info.items()):
+                        if not fut.done():
+                            continue
+                        del fut_info[fut]
+                        running_since.pop(fut, None)
+                        try:
+                            outcome = fut.result(timeout=0)[0]
+                        except (BrokenProcessPool, CancelledError,
+                                FuturesTimeoutError):
+                            requeue_free(j, att)
+                        else:
+                            settle(j, att, outcome)
+                    # innocents still in flight requeue with no attempt
+                    # charged: the harness, not the cell, is killing
+                    # their worker
+                    for j, att in fut_info.values():
+                        requeue_free(j, att)
+                    fut_info.clear()
+                    _kill_pool_workers(pool)
+                    break
+                if broken:
+                    # classify whatever the dead pool still owed us
+                    for fut, (index, attempt) in list(fut_info.items()):
+                        try:
+                            outcome = fut.result(timeout=0)[0]
+                        except BrokenProcessPool:
+                            classify_death(index, attempt)
+                        except (CancelledError, FuturesTimeoutError):
+                            requeue_free(index, attempt)
+                        else:
+                            settle(index, attempt, outcome)
+                    fut_info.clear()
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+    finally:
+        shutil.rmtree(marker_dir, ignore_errors=True)
 
 
 def _run_serial(state: _RobustState,
